@@ -1,0 +1,165 @@
+"""Ablations over DESIGN.md's called-out design choices.
+
+1. **Flood payload size** — measured received rate should be insensitive
+   to the packet granularity in the unsaturated regime (justifies the
+   1400 B speed-up used by bench_figure3).
+2. **TServer bottleneck bandwidth** — the congestion locus: a smaller
+   bottleneck caps the received rate and produces the Figure 2 plateau.
+3. **Churn coefficients φ** — scaling Fan et al.'s coefficients up
+   increases departures and further reduces attack severity.
+4. **Protections without the leak-stage** — if the attacker fires
+   slide-0 payloads blind (no probe/leak), ASLR Devs crash instead of
+   joining: infection collapses to roughly the non-ASLR fraction.
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.framework import DDoSim
+from repro.core.results import format_table
+
+from benchmarks.conftest import banner
+
+
+def _run(**overrides):
+    defaults = dict(
+        n_devs=30, seed=7, attack_duration=40.0,
+        recruit_timeout=40.0, sim_duration=300.0,
+    )
+    defaults.update(overrides)
+    return DDoSim(SimulationConfig(**defaults)).run()
+
+
+def _no_leak_run():
+    """Disable the diagnostic leak: attacker must guess slide 0."""
+    config = SimulationConfig(
+        n_devs=30, seed=7, attack_duration=10.0,
+        recruit_timeout=40.0, sim_duration=200.0,
+    )
+    ddosim = DDoSim(config)
+
+    # Ablate the leak primitive: diagnostics parse to nothing, so the
+    # attacker's slide table stays empty and stage-2 falls back to 0...
+    # except stage-2 never fires for connman (it waits for a leak), so
+    # emulate a blind attacker: every query/probe gets the slide-0 exploit.
+    attacker = ddosim.attacker
+    attacker.dns_slides = _ZeroSlideDict()
+    original = attacker._dhcp_leak_from_reply
+    attacker._dhcp_leak_from_reply = lambda payload: (
+        0 if original(payload) is not None else None
+    )
+    return ddosim.run()
+
+
+class _ZeroSlideDict(dict):
+    """A slide table that always answers 0 (blind exploitation)."""
+
+    def get(self, key, default=None):
+        return 0
+
+
+def _ablation_rows():
+    rows = []
+
+    # 1. payload size
+    for payload in (256, 512, 1400):
+        result = _run(attack_payload_size=payload)
+        rows.append({
+            "ablation": "payload_size",
+            "value": payload,
+            "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+            "infection_rate": result.recruitment.infection_rate,
+        })
+
+    # 2. bottleneck bandwidth
+    for rate in (5e6, 30e6):
+        result = _run(tserver_rate_bps=rate)
+        rows.append({
+            "ablation": "tserver_rate",
+            "value": f"{rate/1e6:.0f}Mbps",
+            "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+            "infection_rate": result.recruitment.infection_rate,
+        })
+
+    # 3. churn coefficients
+    for scale, phi in (("paper", (0.16, 0.08, 0.04)), ("x4", (0.64, 0.32, 0.16))):
+        result = _run(churn="dynamic", churn_phi=phi)
+        rows.append({
+            "ablation": "churn_phi",
+            "value": scale,
+            "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+            "infection_rate": result.recruitment.infection_rate,
+        })
+
+    # 4. blind (leak-less) exploitation
+    result = _no_leak_run()
+    rows.append({
+        "ablation": "no_leak_blind_exploit",
+        "value": "-",
+        "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+        "infection_rate": round(result.recruitment.infection_rate, 3),
+    })
+    return rows
+
+
+def test_ablations(benchmark):
+    rows = benchmark.pedantic(_ablation_rows, rounds=1, iterations=1)
+
+    banner("Ablations over design choices")
+    print(format_table(rows))
+
+    by_key = {}
+    for row in rows:
+        by_key.setdefault(row["ablation"], []).append(row)
+
+    # 1. payload size barely matters (unsaturated regime)
+    payload_rates = [row["avg_received_kbps"] for row in by_key["payload_size"]]
+    assert max(payload_rates) / min(payload_rates) < 1.1
+
+    # 2. the bottleneck caps the rate
+    bottleneck = {row["value"]: row["avg_received_kbps"] for row in by_key["tserver_rate"]}
+    assert bottleneck["5Mbps"] < bottleneck["30Mbps"]
+    assert bottleneck["5Mbps"] < 5_500  # clipped near the 5 Mbps ceiling
+
+    # 3. heavier churn -> weaker attack
+    churn = {row["value"]: row["avg_received_kbps"] for row in by_key["churn_phi"]}
+    assert churn["x4"] < churn["paper"]
+
+    # 4. without the leak stage, ASLR devices resist (partial infection)
+    blind = by_key["no_leak_blind_exploit"][0]
+    assert 0.2 < blind["infection_rate"] < 0.9
+    print("\nablation shape checks passed")
+
+
+def test_topology_abstraction(benchmark):
+    """§III-D ablation: the paper's single-link Internet abstraction vs
+    the explicit host→home-router→ISP→core path.  Expected: closely
+    matching recruitment and attack magnitude."""
+    from repro.core.framework import DDoSim
+    from repro.netsim.tiered import TieredInternet
+
+    def run_pair():
+        config = SimulationConfig(
+            n_devs=20, seed=7, attack_duration=30.0,
+            recruit_timeout=40.0, sim_duration=300.0,
+        )
+        star = DDoSim(config).run()
+        tiered = DDoSim(
+            config,
+            network_factory=lambda sim, c: TieredInternet(
+                sim, default_queue_packets=c.queue_packets
+            ),
+        ).run()
+        return star, tiered
+
+    star, tiered = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    banner("Ablation: star (single-link abstraction) vs tiered Internet")
+    print(f"star   : infection={star.recruitment.infection_rate:.2f} "
+          f"rate={star.attack.avg_received_kbps:.1f} kbps")
+    print(f"tiered : infection={tiered.recruitment.infection_rate:.2f} "
+          f"rate={tiered.attack.avg_received_kbps:.1f} kbps")
+    divergence = abs(
+        star.attack.avg_received_kbps - tiered.attack.avg_received_kbps
+    ) / star.attack.avg_received_kbps
+    assert star.recruitment.infection_rate == tiered.recruitment.infection_rate == 1.0
+    assert divergence < 0.1
+    print(f"\nshape check passed: divergence {divergence:.1%} — the "
+          "single-link abstraction holds")

@@ -1,0 +1,53 @@
+"""Baseline comparison — memory-error exploits vs default credentials.
+
+The paper's framing (abstract / §I): "Unlike the Mirai attack, which
+relies on default credentials, these experiments exploit memory error
+vulnerabilities", motivated by credential-hygiene legislation shrinking
+the default-password attack surface.
+
+Expected shape on the same fleet (60% of Devs shipping factory
+credentials):
+
+* the **credential** vector recruits only the weak-credential share;
+* the **memory-error** vector recruits 100% regardless of credentials;
+* running **both** is no better than memory-error alone;
+* attack magnitude tracks recruitment, so the memory-error botnet hits
+  harder than the credential-only one.
+"""
+
+from repro.core.experiment import run_vector_comparison
+from repro.core.results import format_table
+
+from benchmarks.conftest import banner
+
+
+def test_baseline_vectors(benchmark, full):
+    n_devs = 30 if full else 16
+
+    rows = benchmark.pedantic(
+        run_vector_comparison,
+        kwargs={"n_devs": n_devs, "seed": 2, "weak_credential_fraction": 0.6},
+        rounds=1,
+        iterations=1,
+    )
+
+    banner("Baseline: memory-error vs default-credential recruitment")
+    print(format_table(rows))
+
+    by_vector = {row["vector"]: row for row in rows}
+    credentials = by_vector["credentials"]
+    memory_error = by_vector["memory_error"]
+    both = by_vector["both"]
+
+    assert memory_error["infection_rate"] == 1.0
+    assert both["infection_rate"] == 1.0
+    assert credentials["recruited"] == credentials["weak_credential_devs"]
+    assert credentials["recruited"] < memory_error["recruited"]
+    assert (
+        credentials["avg_received_kbps"] < memory_error["avg_received_kbps"]
+    )
+    print(
+        f"\nshape checks passed: credentials reach only the weak share "
+        f"({credentials['recruited']}/{n_devs}), memory error reaches all "
+        f"({memory_error['recruited']}/{n_devs})"
+    )

@@ -1,0 +1,90 @@
+"""Microbenchmarks of the simulation engine itself.
+
+These use pytest-benchmark's actual timing (multiple rounds) to track
+the hot paths that dominate experiment wall time: the event scheduler,
+the point-to-point flood datapath, and TCP byte-stream throughput.
+"""
+
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.sink import PacketSink
+from repro.netsim.topology import StarInternet
+
+
+def test_scheduler_throughput(benchmark):
+    """Schedule+run 50k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for index in range(50_000):
+            sim.schedule(index * 1e-6, _noop)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run)
+    assert executed == 50_000
+
+
+def _noop():
+    pass
+
+
+def test_flood_datapath(benchmark):
+    """Push 5k UDP packets through the star (device->router->sink)."""
+
+    def run():
+        sim = Simulator()
+        star = StarInternet(sim)
+        sender = Node(sim, "sender")
+        receiver = Node(sim, "receiver")
+        # Deep queues: this measures datapath cost, not drop behaviour.
+        star.attach_host(sender, 100e6, delay=0.001, queue_packets=6_000)
+        star.attach_host(receiver, 100e6, delay=0.001, queue_packets=6_000)
+        sink = PacketSink(receiver)
+        sink.start()
+        destination = star.address_of(receiver)
+        udp = sender.udp
+        for _ in range(5_000):
+            udp.send_datagram(None, destination, 7777, src_port=9, payload_size=512)
+        sim.run()
+        return sink.total_packets
+
+    received = benchmark(run)
+    assert received == 5_000
+
+
+def test_tcp_stream_throughput(benchmark):
+    """Transfer 200 kB over the simulated TCP."""
+    from repro.netsim.process import SimProcess
+    from repro.netsim.sockets import TcpServerSocket, TcpSocket
+
+    blob = b"x" * 200_000
+
+    def run():
+        sim = Simulator()
+        star = StarInternet(sim)
+        node_a = Node(sim, "a")
+        node_b = Node(sim, "b")
+        star.attach_host(node_a, 100e6, delay=0.001)
+        star.attach_host(node_b, 100e6, delay=0.001)
+        server = TcpServerSocket(node_b, 80)
+        received = []
+
+        def server_proc():
+            sock = yield server.accept()
+            data = yield from sock.read_all()
+            received.append(len(data))
+
+        def client_proc():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            sock.send(blob)
+            sock.close()
+
+        SimProcess(sim, server_proc(), name="server")
+        SimProcess(sim, client_proc(), name="client")
+        sim.run(until=120.0)
+        return received[0] if received else 0
+
+    transferred = benchmark(run)
+    assert transferred == len(blob)

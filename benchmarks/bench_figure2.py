@@ -1,0 +1,75 @@
+"""Figure 2 — average received data rate vs number of Devs x churn level.
+
+Paper: 10-150 Devs, three churn levels, 100-second UDP-PLAIN attacks.
+Expected shape: sublinear growth in Devs (congestion) and, at every fleet
+size, ``no churn >= static churn >= dynamic churn``, with the static >
+dynamic gap clear at scale (rejoining bots miss the attack command).
+"""
+
+from repro.core.experiment import (
+    FIGURE2_CHURN,
+    FIGURE2_DEVS_FULL,
+    FIGURE2_DEVS_QUICK,
+    run_figure2,
+)
+from repro.core.results import format_table
+
+from benchmarks.conftest import banner
+
+
+def _sublinear(series):
+    """Per-device marginal rate decreases from the first to last step."""
+    (n0, r0), (n1, r1) = series[0], series[1]
+    (n_last0, r_last0), (n_last1, r_last1) = series[-2], series[-1]
+    first_marginal = (r1 - r0) / (n1 - n0)
+    last_marginal = (r_last1 - r_last0) / (n_last1 - n_last0)
+    return last_marginal < first_marginal
+
+
+def test_figure2(benchmark, full):
+    devs_grid = FIGURE2_DEVS_FULL if full else FIGURE2_DEVS_QUICK
+
+    rows = benchmark.pedantic(
+        run_figure2,
+        kwargs={"devs_grid": devs_grid, "churn_modes": FIGURE2_CHURN, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    banner("Figure 2: avg received data rate vs #Devs x churn")
+    print(format_table(rows))
+
+    by_mode = {
+        mode: sorted(
+            (row["n_devs"], row["avg_received_kbps"])
+            for row in rows
+            if row["churn"] == mode
+        )
+        for mode in FIGURE2_CHURN
+    }
+
+    # Shape 1: growth is monotone-increasing and sublinear for no-churn.
+    none_series = by_mode["none"]
+    rates = [rate for _n, rate in none_series]
+    assert rates == sorted(rates), "received rate must grow with Devs"
+    assert _sublinear(none_series), "growth must be sublinear (congestion)"
+
+    # Shape 2: churn ordering. Past TServer saturation all modes clip to
+    # the bottleneck, so check at the largest *unsaturated* fleet size.
+    delivery = {
+        row["n_devs"]: row["delivery_ratio"]
+        for row in rows
+        if row["churn"] == "none"
+    }
+    unsaturated = [n for n in devs_grid if delivery[n] >= 0.95]
+    probe = unsaturated[-1] if unsaturated else devs_grid[0]
+    rate_at = {mode: dict(by_mode[mode])[probe] for mode in FIGURE2_CHURN}
+    assert rate_at["none"] >= rate_at["static"] >= rate_at["dynamic"], (
+        f"churn ordering violated at {probe} Devs: {rate_at}"
+    )
+    assert rate_at["none"] > rate_at["dynamic"], "dynamic churn must reduce severity"
+    print(
+        f"\nshape checks passed: sublinear growth; "
+        f"none({rate_at['none']:.0f}) >= static({rate_at['static']:.0f}) "
+        f">= dynamic({rate_at['dynamic']:.0f}) kbps at {probe} Devs"
+    )

@@ -1,0 +1,66 @@
+"""Figure 3 — average received data rate vs attack duration.
+
+Paper: durations 150/200/300 s at 50/100/150/200 Devs, no churn.
+Expected shape: for every fleet size, longer attacks yield a higher
+average received data rate (ramp-up transients amortize and the server
+stays saturated longer), and larger fleets dominate smaller ones at every
+duration.
+
+The quick grid uses 50/100 Devs and a 1400 B flood payload (2.7x fewer
+packets to simulate); ``bench_ablations`` shows measured rate is
+insensitive to payload size in this regime.  ``REPRO_FULL=1`` runs the
+paper's exact grid.
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.experiment import (
+    FIGURE3_DEVS_FULL,
+    FIGURE3_DEVS_QUICK,
+    FIGURE3_DURATIONS,
+    run_figure3,
+)
+from repro.core.results import format_table
+
+from benchmarks.conftest import banner
+
+
+def test_figure3(benchmark, full):
+    devs_grid = FIGURE3_DEVS_FULL if full else FIGURE3_DEVS_QUICK
+    base = SimulationConfig(n_devs=1, attack_payload_size=1400)
+
+    rows = benchmark.pedantic(
+        run_figure3,
+        kwargs={
+            "devs_grid": devs_grid,
+            "durations": FIGURE3_DURATIONS,
+            "seed": 1,
+            "base_config": base,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    banner("Figure 3: avg received data rate vs attack duration")
+    print(format_table(rows))
+
+    by_devs = {}
+    for row in rows:
+        by_devs.setdefault(row["n_devs"], []).append(
+            (row["attack_duration_s"], row["avg_received_kbps"])
+        )
+
+    for n_devs, series in by_devs.items():
+        series.sort()
+        rates = [rate for _duration, rate in series]
+        assert rates == sorted(rates), (
+            f"received rate must increase with duration at {n_devs} Devs: {rates}"
+        )
+
+    durations = sorted({row["attack_duration_s"] for row in rows})
+    sizes = sorted(by_devs)
+    for duration in durations:
+        per_size = [dict(by_devs[n])[duration] for n in sizes]
+        assert per_size == sorted(per_size), (
+            f"rate must increase with Devs at {duration}s: {per_size}"
+        )
+    print("\nshape checks passed: rate increases with duration and with Devs")

@@ -1,0 +1,49 @@
+"""Figure 4 — real-world (hardware) vs DDoSim received-rate curves.
+
+Paper: 1-19 Raspberry Pis on a Netgear router's WiFi vs DDoSim at the
+same settings; validation criterion is that both curves are similar.
+
+Here the "hardware" side is the independent CSMA/CA WiFi testbed model
+(repro.hardware): different congestion physics, same components.
+Expected shape: both curves increase with Devs and track each other
+closely (small relative divergence at every point).
+"""
+
+from repro.core.experiment import (
+    FIGURE4_DEVS_FULL,
+    FIGURE4_DEVS_QUICK,
+    run_figure4,
+)
+from repro.core.results import format_table
+
+from benchmarks.conftest import banner
+
+
+def test_figure4(benchmark, full):
+    devs_grid = FIGURE4_DEVS_FULL if full else FIGURE4_DEVS_QUICK
+
+    rows = benchmark.pedantic(
+        run_figure4,
+        kwargs={"devs_grid": devs_grid, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    banner("Figure 4: hardware-testbed model vs DDoSim")
+    print(format_table(rows))
+
+    hardware = [row["hardware_kbps"] for row in rows]
+    simulated = [row["ddosim_kbps"] for row in rows]
+    divergences = [row["relative_divergence"] for row in rows]
+
+    assert hardware == sorted(hardware), "hardware curve must grow with Devs"
+    assert simulated == sorted(simulated), "DDoSim curve must grow with Devs"
+    assert max(divergences) < 0.25, (
+        f"models diverge too much: max divergence {max(divergences)}"
+    )
+    mean_divergence = sum(divergences) / len(divergences)
+    assert mean_divergence < 0.15
+    print(
+        f"\nshape checks passed: both curves monotone; mean divergence "
+        f"{mean_divergence:.1%}, max {max(divergences):.1%}"
+    )

@@ -1,0 +1,76 @@
+"""Table I — hardware resources consumed by DDoSim per run.
+
+Paper (16 GB laptop, 100 s attacks):
+
+    Devs  Pre-attack Mem  Attack Mem  Attack Time
+    20    0.38 GB         0.39 GB     2:03
+    40    0.52 GB         1.15 GB     2:43
+    70    0.73 GB         1.47 GB     3:22
+    100   0.94 GB         1.93 GB     3:48
+    130   1.32 GB         3.11 GB     5:14
+
+Our resource model (see repro.core.resources) is driven by the emulated
+container census and the simulation's actual flood volume; expected
+shape: all three columns grow with Devs, Attack Mem > Pre-attack Mem with
+a widening gap, and Attack Time always exceeds the 100 s simulated
+duration.
+"""
+
+from repro.core.experiment import TABLE1_DEVS, run_table1
+from repro.core.results import format_table
+
+from benchmarks.conftest import banner
+
+PAPER_TABLE1 = {
+    20: (0.38, 0.39, 123),
+    40: (0.52, 1.15, 163),
+    70: (0.73, 1.47, 202),
+    100: (0.94, 1.93, 228),
+    130: (1.32, 3.11, 314),
+}
+
+
+def _mmss_to_seconds(text: str) -> int:
+    minutes, seconds = text.split(":")
+    return int(minutes) * 60 + int(seconds)
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(
+        run_table1, kwargs={"devs_grid": TABLE1_DEVS, "seed": 1},
+        rounds=1, iterations=1,
+    )
+
+    banner("Table I: hardware resources consumed by DDoSim")
+    merged = []
+    for row in rows:
+        paper_pre, paper_attack, paper_time = PAPER_TABLE1[row["n_devs"]]
+        merged.append(
+            {
+                **row,
+                "paper_pre_gb": paper_pre,
+                "paper_attack_gb": paper_attack,
+                "paper_time_s": paper_time,
+            }
+        )
+    print(format_table(merged))
+
+    pre = [row["pre_attack_mem_gb"] for row in rows]
+    attack = [row["attack_mem_gb"] for row in rows]
+    times = [_mmss_to_seconds(row["attack_time"]) for row in rows]
+
+    assert pre == sorted(pre), "pre-attack memory must grow with Devs"
+    assert attack == sorted(attack), "attack memory must grow with Devs"
+    assert times == sorted(times), "attack time must grow with Devs"
+    assert all(a > p for a, p in zip(attack, pre)), "attack mem exceeds pre-attack"
+    gaps = [a - p for a, p in zip(attack, pre)]
+    assert gaps == sorted(gaps), "attack-vs-pre gap widens with Devs"
+    assert all(t > 100 for t in times), "attack time exceeds the simulated 100 s"
+
+    # Rough magnitude agreement with the published table (model-driven,
+    # so generous tolerance).
+    for row in rows:
+        paper_pre, paper_attack, paper_time = PAPER_TABLE1[row["n_devs"]]
+        assert abs(row["pre_attack_mem_gb"] - paper_pre) / paper_pre < 0.6
+        assert abs(_mmss_to_seconds(row["attack_time"]) - paper_time) / paper_time < 0.6
+    print("\nshape checks passed: monotone columns, widening gap, time > 100 s")

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures.
+Grids default to reduced-but-representative sizes so the whole harness
+runs in minutes; set ``REPRO_FULL=1`` to use the paper's full grids.
+
+Output: every benchmark prints the regenerated rows (the same series the
+paper plots/tabulates) plus the expected *shape* assertions it checked.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_grids() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def full() -> bool:
+    return full_grids()
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

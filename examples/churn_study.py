@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Churn study: how dynamic IoT network conditions blunt a DDoS attack.
+
+A miniature of the paper's Figure 2 experiment: the same fleet is
+attacked under the three churn regimes (none / static / dynamic, per Fan
+et al.'s leaving-probability model, Eq. 1), and the average received
+data rate at TServer is compared.
+
+Run:  python examples/churn_study.py
+"""
+
+from repro import DDoSim, SimulationConfig, format_table
+
+
+def run_mode(churn: str, n_devs: int = 40, seed: int = 5):
+    config = SimulationConfig(
+        n_devs=n_devs,
+        seed=seed,
+        churn=churn,
+        attack_duration=80.0,
+        recruit_timeout=40.0,
+        sim_duration=400.0,
+    )
+    return DDoSim(config).run()
+
+
+def main() -> None:
+    rows = []
+    for churn in ("none", "static", "dynamic"):
+        print(f"running churn={churn} ...")
+        result = run_mode(churn)
+        rows.append(
+            {
+                "churn": churn,
+                "bots_at_attack": result.attack.bots_commanded,
+                "departures": result.churn.departures,
+                "rejoins": result.churn.rejoins,
+                "online_at_end": result.churn.online_at_end,
+                "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+                "delivery_ratio": round(result.attack.delivery_ratio, 3),
+            }
+        )
+
+    print()
+    print(format_table(rows))
+    none_rate = rows[0]["avg_received_kbps"]
+    dynamic_rate = rows[2]["avg_received_kbps"]
+    reduction = (none_rate - dynamic_rate) / none_rate
+    print(
+        f"\nDynamic churn reduced attack severity by {reduction:.1%} "
+        f"relative to the no-churn fleet — the paper's R3 observation: "
+        f"'dynamic IoT network conditions tend to reduce the attack's severity'."
+    )
+
+
+if __name__ == "__main__":
+    main()

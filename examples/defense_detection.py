@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Use case V-A1: testing an ML DDoS defense against DDoSim traffic.
+
+Pipeline (exactly the paper's description of the use case):
+
+1. simulate a scenario that sends *both* benign and attack traffic at
+   TServer — benign OnOff web-ish clients plus the Mirai UDP-PLAIN flood;
+2. capture every packet TServer receives and slice the capture into
+   1-second windows of flow features (rates, packet sizes, source
+   entropy, protocol mix);
+3. train a from-scratch logistic-regression classifier on a split of the
+   windows and report detection quality on held-out data.
+
+Run:  python examples/defense_detection.py
+"""
+
+import numpy as np
+
+from repro.analysis.dataset import generate_detection_dataset
+from repro.analysis.detection import LogisticRegressionClassifier, train_test_split
+from repro.analysis.features import FEATURE_NAMES
+from repro.core.config import SimulationConfig
+
+
+def main() -> None:
+    config = SimulationConfig(
+        n_devs=15,
+        seed=3,
+        attack_duration=60.0,
+        recruit_timeout=40.0,
+        sim_duration=300.0,
+    )
+    print("Simulating mixed benign + attack traffic at TServer ...")
+    dataset = generate_detection_dataset(
+        config=config, n_benign_clients=8, seed=3
+    )
+    print(
+        f"captured {len(dataset.y)} one-second windows "
+        f"({dataset.attack_fraction:.0%} during the flood, "
+        f"attack window {dataset.attack_interval[0]:.0f}-"
+        f"{dataset.attack_interval[1]:.0f}s)"
+    )
+
+    X_train, y_train, X_test, y_test = train_test_split(
+        dataset.X, dataset.y, test_fraction=0.3, seed=0
+    )
+    print(f"training logistic regression on {len(y_train)} windows ...")
+    model = LogisticRegressionClassifier(epochs=400).fit(X_train, y_train)
+    metrics = model.evaluate(X_test, y_test)
+
+    print("\n--- held-out detection quality ---")
+    print(f"accuracy : {metrics.accuracy:.3f}")
+    print(f"precision: {metrics.precision:.3f}")
+    print(f"recall   : {metrics.recall:.3f}")
+    print(f"f1       : {metrics.f1:.3f}")
+    print(
+        f"confusion: tp={metrics.true_positives} fp={metrics.false_positives} "
+        f"tn={metrics.true_negatives} fn={metrics.false_negatives}"
+    )
+
+    print("\n--- most discriminative features (|standardized weight|) ---")
+    assert model.weights is not None
+    order = np.argsort(-np.abs(model.weights))
+    for index in order[:5]:
+        print(f"{FEATURE_NAMES[index]:>20s}: {model.weights[index]:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

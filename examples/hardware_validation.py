@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Framework validation: DDoSim vs the hardware-testbed model (Figure 4).
+
+The paper validates DDoSim by running identical experiments on real
+hardware (Raspberry Pis on a Netgear router's WiFi) and comparing the
+received-rate curves.  This example runs the same comparison against the
+independent CSMA/CA WiFi testbed model for 1-10 devices.
+
+Run:  python examples/hardware_validation.py
+"""
+
+from repro import DDoSim, SimulationConfig, format_table
+from repro.hardware import HardwareTestbed
+
+
+def main() -> None:
+    rows = []
+    for n_devs in (1, 3, 5, 8, 10):
+        config = SimulationConfig(
+            n_devs=n_devs,
+            seed=1,
+            attack_duration=40.0,
+            recruit_timeout=40.0,
+            sim_duration=250.0,
+        )
+        print(f"n_devs={n_devs}: running both models ...")
+        hardware = HardwareTestbed(config).run()
+        simulated = DDoSim(config).run()
+        hw = hardware.attack.avg_received_kbps
+        sim = simulated.attack.avg_received_kbps
+        rows.append(
+            {
+                "n_devs": n_devs,
+                "hardware_kbps": round(hw, 1),
+                "ddosim_kbps": round(sim, 1),
+                "divergence": f"{abs(hw - sim) / max(hw, 1e-9):.1%}",
+            }
+        )
+
+    print()
+    print(format_table(rows))
+    print(
+        "\nBoth models were recruited via the same exploit chains and run "
+        "the same Mirai flood, but over different network physics "
+        "(CSMA/CA contention vs star point-to-point queues). Their close "
+        "agreement is this reproduction's analogue of the paper's "
+        "hardware validation."
+    )
+
+
+if __name__ == "__main__":
+    main()

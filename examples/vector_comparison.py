@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Recruitment vectors compared: memory error vs default credentials.
+
+The paper's abstract draws the contrast directly: "Unlike the Mirai
+attack, which relies on default credentials, these experiments exploit
+memory error vulnerabilities."  This example runs the same fleet under
+three attacker configurations — the classic Mirai telnet dictionary, the
+paper's memory-error exploit chain, and both — and shows why the paper
+argues memory errors are the post-credential-hygiene threat.
+
+Run:  python examples/vector_comparison.py
+"""
+
+from repro import format_table
+from repro.core.experiment import run_vector_comparison
+
+
+def main() -> None:
+    n_devs = 16
+    weak_fraction = 0.6
+    print(
+        f"fleet: {n_devs} Devs, {weak_fraction:.0%} shipping factory telnet "
+        f"credentials\n"
+    )
+    rows = run_vector_comparison(
+        n_devs=n_devs, seed=2, weak_credential_fraction=weak_fraction
+    )
+    print(format_table(rows))
+
+    by_vector = {row["vector"]: row for row in rows}
+    creds = by_vector["credentials"]
+    memerr = by_vector["memory_error"]
+    print(
+        f"\nThe dictionary attack stops at the weak-credential share "
+        f"({creds['recruited']}/{n_devs}); the memory-error chain recruits "
+        f"everything ({memerr['recruited']}/{n_devs}) regardless of password "
+        f"hygiene — the paper's R1 motivation: as credential laws bite, "
+        f"attackers move to memory-error vulnerabilities."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — a full reproduction of DDoSim (DSN 2023).
+
+"Creating a Large-scale Memory Error IoT Botnet Using NS3DockerEmulator"
+(Obaidat, Kahn, Tavakoli, Sridhar) presents DDoSim: a testbed that
+splices Docker containers running real vulnerable IoT binaries into an
+NS-3 simulated network, recruits them into a Mirai botnet via ROP
+exploits against memory-error CVEs, and measures the resulting DDoS
+attacks under IoT churn.
+
+This package rebuilds the whole stack in pure Python:
+
+* :mod:`repro.netsim` — the discrete-event network simulator (NS-3 role);
+* :mod:`repro.container` — the container runtime emulation (Docker role);
+* :mod:`repro.memsafety` — address spaces, stack smashing, W^X, ASLR, ROP;
+* :mod:`repro.binaries` — the vulnerable Connman/Dnsmasq analogues + userland;
+* :mod:`repro.services` — DNS/DHCPv6/HTTP/telnet + the exploit builders;
+* :mod:`repro.botnet` — the Mirai model (bot, C&C, floods, scanner);
+* :mod:`repro.core` — DDoSim itself (components, churn, metrics, sweeps);
+* :mod:`repro.hardware` — the WiFi hardware-testbed model (validation);
+* :mod:`repro.analysis` — the ML-detection and epidemic-model use cases.
+
+Quickstart::
+
+    from repro import DDoSim, SimulationConfig
+
+    result = DDoSim(SimulationConfig(n_devs=25, seed=7)).run()
+    print(result.recruitment.infection_rate)       # -> 1.0 (R2)
+    print(result.attack.avg_received_kbps)         # Eq. 2 (R3)
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.framework import DDoSim
+from repro.core.resources import ResourceModel, ResourceReport
+from repro.core.results import RunResult, format_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DDoSim",
+    "ResourceModel",
+    "ResourceReport",
+    "RunResult",
+    "SimulationConfig",
+    "format_table",
+    "__version__",
+]

@@ -1,0 +1,142 @@
+"""A from-scratch logistic-regression DDoS detector (use case V-A1).
+
+Implements the classifier with plain numpy (standardization + batch
+gradient descent with L2 regularization) rather than an ML framework —
+the environment has none, and the point of the use case is the *data
+path* DDoSim enables: simulate mixed benign/attack traffic, extract
+features, train, evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class DetectionMetrics:
+    """Binary-classification quality summary."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @classmethod
+    def from_predictions(cls, y_true: np.ndarray, y_pred: np.ndarray) -> "DetectionMetrics":
+        y_true = np.asarray(y_true).astype(int)
+        y_pred = np.asarray(y_pred).astype(int)
+        tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+        fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+        tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+        fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+        total = max(len(y_true), 1)
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        return cls(
+            accuracy=(tp + tn) / total,
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            true_positives=tp,
+            false_positives=fp,
+            true_negatives=tn,
+            false_negatives=fn,
+        )
+
+
+class LogisticRegressionClassifier:
+    """Standardize -> sigmoid(w.x + b), trained with batch GD + L2."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        epochs: int = 500,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ):
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self.loss_history: list = []
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+    def _standardize(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        if fit:
+            self._mean = X.mean(axis=0)
+            self._std = X.std(axis=0)
+            self._std[self._std == 0] = 1.0
+        assert self._mean is not None and self._std is not None
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D and aligned with y")
+        Xs = self._standardize(X, fit=True)
+        rng = np.random.default_rng(self.seed)
+        self.weights = rng.normal(0.0, 0.01, size=Xs.shape[1])
+        self.bias = 0.0
+        n = len(y)
+        for _ in range(self.epochs):
+            logits = Xs @ self.weights + self.bias
+            probabilities = self._sigmoid(logits)
+            error = probabilities - y
+            gradient_w = Xs.T @ error / n + self.l2 * self.weights
+            gradient_b = float(error.mean())
+            self.weights -= self.learning_rate * gradient_w
+            self.bias -= self.learning_rate * gradient_b
+            eps = 1e-9
+            loss = float(
+                -np.mean(
+                    y * np.log(probabilities + eps)
+                    + (1 - y) * np.log(1 - probabilities + eps)
+                )
+            )
+            self.loss_history.append(loss)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit() before predict")
+        Xs = self._standardize(np.asarray(X, dtype=float), fit=False)
+        return self._sigmoid(Xs @ self.weights + self.bias)
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    def evaluate(self, X: np.ndarray, y: np.ndarray) -> DetectionMetrics:
+        return DetectionMetrics.from_predictions(y, self.predict(X))
+
+
+def train_test_split(
+    X: np.ndarray, y: np.ndarray, test_fraction: float = 0.3, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split; returns (X_train, y_train, X_test, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(X))
+    cut = int(len(X) * (1.0 - test_fraction))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]

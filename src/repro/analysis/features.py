@@ -1,0 +1,102 @@
+"""Traffic features for ML-based DDoS detection (use case V-A1).
+
+"Most ML-based DDoS detection or mitigation approaches rely on extracting
+features from incoming network traffic (e.g., IP address, traffic rate)
+and feeding them into an ML model" (§V-A1).  These are the classic
+flow-window features: per time window over a TServer-side
+:class:`repro.netsim.tracing.PacketCapture` we compute rates, packet-size
+statistics, source dispersion and protocol mix.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.netsim.headers import PROTO_TCP, PROTO_UDP
+from repro.netsim.tracing import CapturedPacket
+
+FEATURE_NAMES = (
+    "packet_rate",          # packets / second
+    "byte_rate",            # bytes / second
+    "mean_packet_size",
+    "std_packet_size",
+    "distinct_sources",
+    "source_entropy",       # Shannon entropy over source addresses (bits)
+    "udp_fraction",
+    "tcp_fraction",
+    "distinct_dst_ports",
+    "top_source_share",     # traffic share of the busiest source
+)
+
+
+def _entropy(counts: Sequence[int]) -> float:
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts:
+        if count:
+            probability = count / total
+            entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def window_features(records: Sequence[CapturedPacket], window: float) -> List[float]:
+    """The feature vector for one window of captured packets."""
+    if not records:
+        return [0.0] * len(FEATURE_NAMES)
+    sizes = np.array([record.size for record in records], dtype=float)
+    sources = Counter(str(record.src) for record in records)
+    ports = {record.dst_port for record in records}
+    protocols = Counter(record.protocol for record in records)
+    total = len(records)
+    return [
+        total / window,
+        float(sizes.sum()) / window,
+        float(sizes.mean()),
+        float(sizes.std()),
+        float(len(sources)),
+        _entropy(list(sources.values())),
+        protocols.get(PROTO_UDP, 0) / total,
+        protocols.get(PROTO_TCP, 0) / total,
+        float(len(ports)),
+        max(sources.values()) / total,
+    ]
+
+
+def windows_from_capture(
+    records: Sequence[CapturedPacket],
+    start: float,
+    end: float,
+    window: float,
+    attack_interval: Tuple[float, float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slice a capture into labelled windows.
+
+    Returns ``(X, y)``: the feature matrix and binary labels (1 = the
+    window overlaps the attack interval).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    attack_start, attack_end = attack_interval
+    features: List[List[float]] = []
+    labels: List[int] = []
+    time = start
+    index = 0
+    ordered = sorted(records, key=lambda record: record.time)
+    while time < end:
+        window_end = time + window
+        bucket = []
+        while index < len(ordered) and ordered[index].time < window_end:
+            if ordered[index].time >= time:
+                bucket.append(ordered[index])
+            index += 1
+        features.append(window_features(bucket, window))
+        overlaps = time < attack_end and window_end > attack_start
+        labels.append(1 if overlaps else 0)
+        time = window_end
+    return np.array(features, dtype=float), np.array(labels, dtype=int)

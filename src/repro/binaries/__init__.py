@@ -1,0 +1,44 @@
+"""repro.binaries — emulated IoT userland: daemons, shell, busybox.
+
+The paper loads each Dev's container with a real ``connman`` or
+``dnsmasq`` binary — "widely common binaries in IoT devices" carrying
+known stack-overflow CVEs — plus enough userland (``sh``, ``curl``) for
+the infection one-liner to work.  This package provides the emulated
+equivalents:
+
+* :mod:`repro.binaries.binfmt` — an "ELF-ish" binary image format with
+  architecture, version, protection flags (W^X/ASLR) and a build seed
+  that fixes the gadget layout; plus the loader that lets containers
+  execute binaries that arrived over the network as bytes.
+* :mod:`repro.binaries.connman` — the ConnMan analogue: a DNS-proxying
+  network manager whose response parser has the CVE-2017-12865-shaped
+  unchecked copy.
+* :mod:`repro.binaries.dnsmasq` — the Dnsmasq analogue: a DHCPv6 server
+  whose RELAYFORW handler has the CVE-2017-14493-shaped unchecked copy.
+* :mod:`repro.binaries.shell` — ``/bin/sh`` with pipelines plus ``curl``,
+  ``chmod``, ``rm`` ... (everything the infection script needs).
+"""
+
+from repro.binaries.binfmt import (
+    BinaryImage,
+    BinaryRuntime,
+    binary_loader,
+    register_program,
+)
+
+# Import the daemon/userland modules for their side effect: registering
+# their programs so any container can execute these binaries' bytes.
+from repro.binaries import busybox as _busybox  # noqa: F401
+from repro.binaries import connman as _connman  # noqa: F401
+from repro.binaries import dnsmasq as _dnsmasq  # noqa: F401
+from repro.binaries.connman import make_connman_binary
+from repro.binaries.dnsmasq import make_dnsmasq_binary
+
+__all__ = [
+    "BinaryImage",
+    "BinaryRuntime",
+    "binary_loader",
+    "make_connman_binary",
+    "make_dnsmasq_binary",
+    "register_program",
+]

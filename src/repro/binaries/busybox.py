@@ -1,0 +1,100 @@
+"""Busybox-style applets: the extra userland Devs may run.
+
+Mirai "attempts to kill processes associated with other DDoS variants and
+processes bound to port 22 or 23 (TCP) to fortify itself" (§III-A).  To
+exercise that behaviour the Dev images can include:
+
+* ``telnetd`` — a trivial telnet banner service bound to TCP 23 (what
+  stock IoT firmware ships; Mirai's victim);
+* ``dropbear`` — an SSH stand-in on TCP 22;
+* a ``qbot`` stand-in — a rival DDoS bot (recognized by process name).
+"""
+
+from __future__ import annotations
+
+from repro.binaries.binfmt import BinaryImage, register_program
+from repro.netsim.process import ProcessKilled, SimProcess
+
+
+def _banner_service(port: int, banner: bytes, name: str):
+    """A service that accepts TCP connections and sends a banner."""
+
+    def service(ctx):
+        server = ctx.netns.tcp_listen(port)
+        ctx.bind_port_marker(port)
+
+        def session(sock):
+            sock.send(banner)
+            yield sock.recv()  # wait for anything, then hang up
+            sock.close()
+
+        try:
+            while True:
+                sock = yield server.accept()
+                SimProcess(ctx.sim, session(sock), name=f"{name}-session")
+        except ProcessKilled:
+            raise
+        finally:
+            ctx.release_port_marker(port)
+            server.close()
+
+    return service
+
+
+def telnetd_program(image: BinaryImage):
+    return _banner_service(23, b"BusyBox v1.21 built-in shell\r\nlogin: ", "telnetd")
+
+
+def dropbear_program(image: BinaryImage):
+    return _banner_service(22, b"SSH-2.0-dropbear_2014.63\r\n", "dropbear")
+
+
+def qbot_program(image: BinaryImage):
+    """A rival DDoS bot stand-in: it just exists (and gets killed)."""
+
+    def qbot(ctx):
+        while True:
+            yield ctx.sleep(60.0)
+
+    return qbot
+
+
+register_program("telnetd", telnetd_program)
+register_program("dropbear", dropbear_program)
+register_program("qbot", qbot_program)
+
+#: process names Mirai's killer treats as rival DDoS malware
+RIVAL_PROCESS_NAMES = ("qbot", ".anime", "zollard", "remaiten")
+
+
+def make_telnetd_binary() -> BinaryImage:
+    return BinaryImage(
+        name="telnetd",
+        version="1.21",
+        program_key="telnetd",
+        file_size=24 * 1024,
+        rss_bytes=512 * 1024,
+        vulnerable=False,
+    )
+
+
+def make_dropbear_binary() -> BinaryImage:
+    return BinaryImage(
+        name="dropbear",
+        version="2014.63",
+        program_key="dropbear",
+        file_size=110 * 1024,
+        rss_bytes=768 * 1024,
+        vulnerable=False,
+    )
+
+
+def make_qbot_binary() -> BinaryImage:
+    return BinaryImage(
+        name="qbot",
+        version="0.1",
+        program_key="qbot",
+        file_size=48 * 1024,
+        rss_bytes=640 * 1024,
+        vulnerable=False,
+    )

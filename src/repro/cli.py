@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run``         — one DDoSim run with chosen parameters.
+* ``figure2``     — Devs x churn sweep (paper Figure 2).
+* ``figure3``     — attack-duration sweep (paper Figure 3).
+* ``table1``      — host-resource table (paper Table I).
+* ``figure4``     — hardware-model vs DDoSim validation (paper Figure 4).
+* ``recruitment`` — infection rate per CVE x protection profile (R1/R2).
+* ``epidemic``    — worm-spread propagation + SI fit (use case V-A2).
+
+Every sweep command accepts ``--csv PATH`` / ``--json PATH`` to archive
+the rows, and ``run`` accepts ``--config PATH`` to load a JSON config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.core.framework import DDoSim
+from repro.core.results import format_table
+from repro.serialization import (
+    config_from_json,
+    result_to_json,
+    rows_to_csv,
+)
+
+
+def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--devs", type=int, default=20, help="number of Devs")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--churn", choices=("none", "static", "dynamic"),
+                        default="none")
+    parser.add_argument("--duration", type=float, default=100.0,
+                        help="attack duration (s)")
+    parser.add_argument("--binary-mix", choices=("mixed", "connman", "dnsmasq"),
+                        default="mixed")
+    parser.add_argument("--payload", type=int, default=512,
+                        help="UDP-PLAIN payload size (bytes)")
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    if getattr(args, "config", None):
+        with open(args.config, encoding="utf-8") as handle:
+            return config_from_json(handle.read())
+    return SimulationConfig(
+        n_devs=args.devs,
+        seed=args.seed,
+        churn=args.churn,
+        attack_duration=args.duration,
+        binary_mix=args.binary_mix,
+        attack_payload_size=args.payload,
+        sim_duration=max(600.0, args.duration + 150.0),
+    )
+
+
+def _emit_rows(rows, args) -> None:
+    print(format_table(rows))
+    if getattr(args, "csv", None):
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_csv(rows))
+        print(f"wrote {args.csv}")
+    if getattr(args, "json", None):
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2)
+        print(f"wrote {args.json}")
+
+
+def _add_output_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--csv", help="write rows as CSV to this path")
+    parser.add_argument("--json", help="write rows as JSON to this path")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one simulation with the flag-built (or file-loaded) config."""
+    config = _config_from_args(args)
+    result = DDoSim(config).run()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result_to_json(result))
+        print(f"wrote {args.json}")
+    print(format_table([result.row()]))
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    """Regenerate the Figure 2 sweep (Devs x churn)."""
+    from repro.core.experiment import FIGURE2_CHURN, run_figure2
+
+    devs_grid = tuple(args.grid) if args.grid else (10, 50, 100, 150)
+    rows = run_figure2(devs_grid=devs_grid, churn_modes=FIGURE2_CHURN,
+                       seed=args.seed)
+    _emit_rows(rows, args)
+    return 0
+
+
+def cmd_figure3(args: argparse.Namespace) -> int:
+    """Regenerate the Figure 3 sweep (attack durations)."""
+    from repro.core.experiment import run_figure3
+
+    devs_grid = tuple(args.grid) if args.grid else (50, 100)
+    base = SimulationConfig(n_devs=1, attack_payload_size=1400)
+    rows = run_figure3(devs_grid=devs_grid, seed=args.seed, base_config=base)
+    _emit_rows(rows, args)
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Regenerate Table I (host resources per run)."""
+    from repro.core.experiment import TABLE1_DEVS, run_table1
+
+    devs_grid = tuple(args.grid) if args.grid else TABLE1_DEVS
+    rows = run_table1(devs_grid=devs_grid, seed=args.seed)
+    _emit_rows(rows, args)
+    return 0
+
+
+def cmd_figure4(args: argparse.Namespace) -> int:
+    """Regenerate the Figure 4 validation (hardware vs DDoSim)."""
+    from repro.core.experiment import run_figure4
+
+    devs_grid = tuple(args.grid) if args.grid else (1, 4, 7, 10, 13, 16, 19)
+    rows = run_figure4(devs_grid=devs_grid, seed=args.seed)
+    _emit_rows(rows, args)
+    return 0
+
+
+def cmd_recruitment(args: argparse.Namespace) -> int:
+    """Regenerate the R1/R2 recruitment matrix."""
+    from repro.core.experiment import run_recruitment
+
+    rows = run_recruitment(n_devs=args.devs, seed=args.seed)
+    _emit_rows(rows, args)
+    return 0
+
+
+def cmd_epidemic(args: argparse.Namespace) -> int:
+    """Run one propagation experiment and fit the SI model."""
+    from repro.analysis.epidemic import fit_si_model, run_propagation_experiment
+
+    result = run_propagation_experiment(
+        n_devs=args.devs, seed=args.seed, duration=args.duration,
+        probes_per_second=args.scan_rate,
+    )
+    times, infected = result.as_arrays()
+    fit = fit_si_model(times, infected, population=args.devs, i0=1)
+    print(f"final infected: {result.final_infected}/{args.devs}")
+    print(f"SI fit: beta={fit.beta:.4f}/s rmse={fit.rmse:.2f} r2={fit.r_squared:.3f}")
+    rows = [
+        {"t": t, "infected": i}
+        for t, i in zip(result.times, result.infected)
+    ]
+    if args.csv or args.json:
+        _emit_rows(rows, args)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DDoSim reproduction (DSN 2023) — botnet DDoS simulation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="one DDoSim run")
+    _add_common_run_args(run_parser)
+    run_parser.add_argument("--config", help="JSON config file (overrides flags)")
+    run_parser.add_argument("--json", help="write the full RunResult as JSON")
+    run_parser.set_defaults(func=cmd_run)
+
+    for name, func, help_text in (
+        ("figure2", cmd_figure2, "Devs x churn sweep (Figure 2)"),
+        ("figure3", cmd_figure3, "attack-duration sweep (Figure 3)"),
+        ("table1", cmd_table1, "host-resource table (Table I)"),
+        ("figure4", cmd_figure4, "hardware vs DDoSim validation (Figure 4)"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("--seed", type=int, default=1)
+        sub.add_argument("--grid", type=int, nargs="+",
+                         help="Devs grid (space separated)")
+        _add_output_args(sub)
+        sub.set_defaults(func=func)
+
+    recruitment_parser = commands.add_parser(
+        "recruitment", help="infection rate per CVE x protections (R1/R2)"
+    )
+    recruitment_parser.add_argument("--devs", type=int, default=10)
+    recruitment_parser.add_argument("--seed", type=int, default=1)
+    _add_output_args(recruitment_parser)
+    recruitment_parser.set_defaults(func=cmd_recruitment)
+
+    epidemic_parser = commands.add_parser(
+        "epidemic", help="worm propagation + SI fit (use case V-A2)"
+    )
+    epidemic_parser.add_argument("--devs", type=int, default=25)
+    epidemic_parser.add_argument("--seed", type=int, default=4)
+    epidemic_parser.add_argument("--duration", type=float, default=400.0)
+    epidemic_parser.add_argument("--scan-rate", type=float, default=2.0)
+    _add_output_args(epidemic_parser)
+    epidemic_parser.set_defaults(func=cmd_epidemic)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""repro.container — an emulated container runtime (the Docker substitute).
+
+DDoSim uses Docker for three things (§II of the paper):
+
+1. running a user-selected network-facing binary per Dev with low overhead
+   (containers instead of QEMU full-system emulation, for scalability);
+2. splicing each container into the NS-3 network through a
+   veth/TapBridge pair (the "ghost node" trick from NS3DockerEmulator);
+3. multi-architecture images via Docker Buildx.
+
+This package emulates that surface: :class:`~repro.container.image.Image`
+and :class:`~repro.container.build.ImageBuilder` (Dockerfile-ish builds,
+Buildx multi-arch), :class:`~repro.container.container.Container` (an
+in-memory filesystem, a process table, per-container memory accounting),
+:class:`~repro.container.runtime.ContainerRuntime` (the engine), and
+:mod:`~repro.container.veth` (bridging a container's ``eth0`` to a
+:class:`repro.netsim.node.Node`).
+"""
+
+from repro.container.build import BuildError, ImageBuilder, buildx_bake
+from repro.container.container import Container, ContainerError
+from repro.container.fs import FileEntry, InMemoryFilesystem
+from repro.container.image import Image
+from repro.container.process import ContainerProcess, ProcessContext
+from repro.container.runtime import ContainerRuntime
+from repro.container.veth import NetNamespace, VethPair
+
+__all__ = [
+    "BuildError",
+    "Container",
+    "ContainerError",
+    "ContainerProcess",
+    "ContainerRuntime",
+    "FileEntry",
+    "Image",
+    "ImageBuilder",
+    "InMemoryFilesystem",
+    "NetNamespace",
+    "ProcessContext",
+    "VethPair",
+    "buildx_bake",
+]

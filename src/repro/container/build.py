@@ -1,0 +1,192 @@
+"""Dockerfile-style image building, including Buildx multi-arch bakes.
+
+DDoSim "begins by creating and building Docker containers for Attacker
+and Devs" (§IV-A).  :class:`ImageBuilder` consumes a small Dockerfile
+dialect so experiment definitions read like the real thing::
+
+    FROM scratch
+    COPY connman /usr/sbin/connmand
+    RUN chmod +x /usr/sbin/connmand
+    EXPOSE 53/udp
+    ENTRYPOINT ["/usr/sbin/connmand"]
+
+Supported instructions: ``FROM``, ``COPY``, ``RUN`` (only ``chmod`` and
+``echo ... >> file`` — the two mutations our images need), ``ENV``,
+``EXPOSE``, ``ENTRYPOINT``, ``CMD``, ``LABEL`` (recorded), ``#`` comments.
+``buildx_bake`` builds one image per requested architecture, tagging them
+``name:tag-<arch>`` like a Buildx manifest's per-platform images.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from typing import Dict, List, Optional, Sequence
+
+from repro.container.fs import FileEntry
+from repro.container.image import Image, SUPPORTED_ARCHITECTURES
+
+
+class BuildError(RuntimeError):
+    """Raised when a Dockerfile cannot be parsed or applied."""
+
+
+class BuildContext:
+    """The build context: named artifacts COPY can pull from.
+
+    Artifacts are :class:`FileEntry` objects so they can carry attached
+    program behaviour (our substitute for compiled machine code).
+    """
+
+    def __init__(self) -> None:
+        self._artifacts: Dict[str, FileEntry] = {}
+
+    def add(self, name: str, data: bytes, mode: int = 0o644, program=None) -> None:
+        self._artifacts[name] = FileEntry(data, mode, program=program)
+
+    def add_entry(self, name: str, entry: FileEntry) -> None:
+        self._artifacts[name] = entry
+
+    def get(self, name: str) -> FileEntry:
+        entry = self._artifacts.get(name)
+        if entry is None:
+            raise BuildError(f"COPY source {name!r} not in build context")
+        return entry
+
+
+class ImageBuilder:
+    """Builds :class:`Image` objects from Dockerfile text."""
+
+    def __init__(self, context: Optional[BuildContext] = None):
+        self.context = context or BuildContext()
+
+    def build(
+        self,
+        dockerfile: str,
+        name: str,
+        tag: str = "latest",
+        architecture: str = "x86_64",
+    ) -> Image:
+        image = Image(name, tag, architecture)
+        saw_from = False
+        for line_number, raw_line in enumerate(dockerfile.splitlines(), start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            instruction, _, rest = line.partition(" ")
+            instruction = instruction.upper()
+            rest = rest.strip()
+            if not saw_from and instruction != "FROM":
+                raise BuildError(f"line {line_number}: first instruction must be FROM")
+            try:
+                if instruction == "FROM":
+                    saw_from = True
+                    self._apply_from(image, rest)
+                elif instruction == "COPY":
+                    self._apply_copy(image, rest)
+                elif instruction == "RUN":
+                    self._apply_run(image, rest)
+                elif instruction == "ENV":
+                    self._apply_env(image, rest)
+                elif instruction == "EXPOSE":
+                    self._apply_expose(image, rest)
+                elif instruction in ("ENTRYPOINT", "CMD"):
+                    image.entrypoint = self._parse_exec_form(rest)
+                elif instruction == "LABEL":
+                    pass  # recorded for fidelity; no behaviour
+                else:
+                    raise BuildError(f"unsupported instruction {instruction}")
+            except BuildError as error:
+                raise BuildError(f"line {line_number}: {error}") from None
+        if not saw_from:
+            raise BuildError("Dockerfile has no FROM instruction")
+        return image
+
+    # ------------------------------------------------------------------
+    # Instruction handlers
+    # ------------------------------------------------------------------
+    def _apply_from(self, image: Image, rest: str) -> None:
+        if not rest:
+            raise BuildError("FROM needs a base image name")
+        # Base images are 'scratch' or tiny rootfs stand-ins; we model the
+        # base purely as its memory footprint contribution.
+        if rest not in ("scratch", "alpine", "debian:slim", "busybox"):
+            raise BuildError(f"unknown base image {rest!r}")
+        base_rss = {"scratch": 2, "busybox": 4, "alpine": 6, "debian:slim": 24}[rest]
+        image.base_rss_bytes = base_rss * 1024 * 1024
+
+    def _apply_copy(self, image: Image, rest: str) -> None:
+        parts = shlex.split(rest)
+        if len(parts) != 2:
+            raise BuildError(f"COPY needs exactly 'src dst', got {rest!r}")
+        source, destination = parts
+        entry = self.context.get(source)
+        image.fs.write_file(
+            destination, entry.data, mode=entry.mode, program=entry.program
+        )
+
+    def _apply_run(self, image: Image, rest: str) -> None:
+        parts = shlex.split(rest)
+        if not parts:
+            raise BuildError("empty RUN")
+        if parts[0] == "chmod":
+            if len(parts) != 3:
+                raise BuildError(f"RUN chmod needs 'chmod MODE PATH', got {rest!r}")
+            mode_text, path = parts[1], parts[2]
+            entry = image.fs.entry(path)
+            if mode_text == "+x":
+                entry.mode |= 0o111
+            else:
+                entry.mode = int(mode_text, 8)
+            return
+        if parts[0] == "echo":
+            # echo TEXT >> PATH  (shlex keeps >> as its own token)
+            if len(parts) >= 4 and parts[-2] == ">>":
+                text = " ".join(parts[1:-2])
+                image.fs.append(parts[-1], text.encode() + b"\n")
+                return
+            raise BuildError(f"RUN echo only supports 'echo TEXT >> PATH', got {rest!r}")
+        raise BuildError(f"RUN only supports chmod/echo in this emulation, got {parts[0]!r}")
+
+    def _apply_env(self, image: Image, rest: str) -> None:
+        key, sep, value = rest.partition("=")
+        if not sep:
+            raise BuildError(f"ENV needs KEY=VALUE, got {rest!r}")
+        image.env[key.strip()] = value.strip()
+
+    def _apply_expose(self, image: Image, rest: str) -> None:
+        port_text = rest.split("/")[0]
+        if not port_text.isdigit():
+            raise BuildError(f"EXPOSE needs a port number, got {rest!r}")
+        image.exposed_ports.append(int(port_text))
+
+    @staticmethod
+    def _parse_exec_form(rest: str) -> List[str]:
+        if rest.startswith("["):
+            try:
+                parsed = json.loads(rest)
+            except json.JSONDecodeError as error:
+                raise BuildError(f"bad exec-form JSON: {error}") from None
+            if not isinstance(parsed, list) or not all(isinstance(x, str) for x in parsed):
+                raise BuildError("exec form must be a JSON array of strings")
+            return parsed
+        return shlex.split(rest)
+
+
+def buildx_bake(
+    builder: ImageBuilder,
+    dockerfile: str,
+    name: str,
+    architectures: Sequence[str],
+    tag: str = "latest",
+) -> Dict[str, Image]:
+    """Build one image per architecture (Docker Buildx's multi-platform
+    bake), tagged ``tag-<arch>``.  Returns ``{arch: Image}``."""
+    images: Dict[str, Image] = {}
+    for architecture in architectures:
+        if architecture not in SUPPORTED_ARCHITECTURES:
+            raise BuildError(f"unsupported architecture {architecture!r}")
+        images[architecture] = builder.build(
+            dockerfile, name, tag=f"{tag}-{architecture}", architecture=architecture
+        )
+    return images

@@ -1,0 +1,154 @@
+"""An in-memory filesystem for emulated containers.
+
+Holds image layers and container-writable state.  The infection chain
+exercises it heavily: ``curl`` writes the downloaded Mirai binary here,
+``chmod +x`` flips its mode bits, the bot then deletes its own binary to
+hide (one of the Mirai behaviours §III-A of the paper calls out).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+
+class FilesystemError(OSError):
+    """Raised for missing paths, bad modes, and similar filesystem faults."""
+
+
+def normalize_path(path: str) -> str:
+    """Normalize to an absolute, '/'-separated path with no empty segments."""
+    if not path:
+        raise FilesystemError("empty path")
+    segments: List[str] = []
+    for segment in path.split("/"):
+        if segment in ("", "."):
+            continue
+        if segment == "..":
+            if segments:
+                segments.pop()
+            continue
+        segments.append(segment)
+    return "/" + "/".join(segments)
+
+
+class FileEntry:
+    """One file: contents, POSIX-ish mode bits, and an optional program.
+
+    ``program`` attaches executable *behaviour* to the file — a factory
+    ``program(ctx) -> generator`` that the container runtime drives as a
+    process.  Files that arrive over the network (e.g. a downloaded Mirai
+    binary) carry no program attribute; the loader recovers behaviour from
+    the binary image embedded in ``data`` (see
+    :mod:`repro.binaries.binfmt`).
+    """
+
+    __slots__ = ("data", "mode", "mtime", "program")
+
+    def __init__(self, data: bytes, mode: int = 0o644, mtime: float = 0.0, program=None):
+        self.data = data
+        self.mode = mode
+        self.mtime = mtime
+        self.program = program
+
+    @property
+    def executable(self) -> bool:
+        return bool(self.mode & 0o111)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def copy(self) -> "FileEntry":
+        return FileEntry(self.data, self.mode, self.mtime, self.program)
+
+
+class InMemoryFilesystem:
+    """A flat path -> :class:`FileEntry` store (directories are implicit)."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, FileEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Basic operations
+    # ------------------------------------------------------------------
+    def write_file(
+        self,
+        path: str,
+        data: bytes,
+        mode: int = 0o644,
+        mtime: float = 0.0,
+        program=None,
+    ) -> FileEntry:
+        entry = FileEntry(data, mode, mtime, program)
+        self._files[normalize_path(path)] = entry
+        return entry
+
+    def read_file(self, path: str) -> bytes:
+        return self.entry(path).data
+
+    def entry(self, path: str) -> FileEntry:
+        normalized = normalize_path(path)
+        entry = self._files.get(normalized)
+        if entry is None:
+            raise FilesystemError(f"no such file: {normalized}")
+        return entry
+
+    def exists(self, path: str) -> bool:
+        return normalize_path(path) in self._files
+
+    def remove(self, path: str) -> None:
+        normalized = normalize_path(path)
+        if normalized not in self._files:
+            raise FilesystemError(f"no such file: {normalized}")
+        del self._files[normalized]
+
+    def chmod(self, path: str, mode: int) -> None:
+        self.entry(path).mode = mode
+
+    def append(self, path: str, data: bytes) -> None:
+        normalized = normalize_path(path)
+        entry = self._files.get(normalized)
+        if entry is None:
+            self.write_file(normalized, data)
+        else:
+            entry.data = entry.data + data
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def list_dir(self, prefix: str = "/") -> List[str]:
+        """All paths under ``prefix`` (sorted)."""
+        normalized = normalize_path(prefix)
+        if normalized != "/":
+            normalized += "/"
+        return sorted(
+            path for path in self._files if path.startswith(normalized) or path == normalized.rstrip("/")
+        )
+
+    def walk(self) -> Iterator[str]:
+        return iter(sorted(self._files))
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of file sizes — feeds container memory accounting."""
+        return sum(entry.size for entry in self._files.values())
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    # ------------------------------------------------------------------
+    # Layering
+    # ------------------------------------------------------------------
+    def clone(self) -> "InMemoryFilesystem":
+        """Copy-on-write-ish clone used when a container starts from an
+        image (entries are copied shallowly; ``data`` bytes are immutable)."""
+        clone = InMemoryFilesystem()
+        for path, entry in self._files.items():
+            clone._files[path] = entry.copy()
+        return clone
+
+    def overlay(self, other: "InMemoryFilesystem") -> None:
+        """Apply another filesystem's entries on top of this one."""
+        for path in other.walk():
+            self._files[path] = other.entry(path).copy()

@@ -1,0 +1,57 @@
+"""Container images: a filesystem snapshot plus run metadata.
+
+Mirrors the Docker pieces DDoSim relies on: named/tagged images holding
+the user-selected binaries for Devs and the attack tooling for Attacker,
+with per-architecture variants in the Buildx style (§II-B: "DDoSim
+accommodates diverse binary architectures (e.g., MIPS, ARM) for Devs
+using Docker Buildx").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.container.fs import InMemoryFilesystem
+
+#: architectures the emulated Buildx can target
+SUPPORTED_ARCHITECTURES = ("x86_64", "arm32", "arm64", "mips", "mipsel")
+
+
+class Image:
+    """An immutable-by-convention container image."""
+
+    def __init__(
+        self,
+        name: str,
+        tag: str = "latest",
+        architecture: str = "x86_64",
+        entrypoint: Optional[List[str]] = None,
+        env: Optional[Dict[str, str]] = None,
+        exposed_ports: Optional[List[int]] = None,
+        base_rss_bytes: int = 8 * 1024 * 1024,
+    ):
+        if architecture not in SUPPORTED_ARCHITECTURES:
+            raise ValueError(
+                f"unsupported architecture {architecture!r}; "
+                f"expected one of {SUPPORTED_ARCHITECTURES}"
+            )
+        self.name = name
+        self.tag = tag
+        self.architecture = architecture
+        self.fs = InMemoryFilesystem()
+        self.entrypoint = list(entrypoint) if entrypoint else []
+        self.env = dict(env or {})
+        self.exposed_ports = list(exposed_ports or [])
+        #: baseline container memory charged before any process RSS
+        self.base_rss_bytes = base_rss_bytes
+
+    @property
+    def reference(self) -> str:
+        """The pullable reference, e.g. ``devs-connman:latest``."""
+        return f"{self.name}:{self.tag}"
+
+    def size_bytes(self) -> int:
+        return self.fs.total_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Image {self.reference} [{self.architecture}] {self.size_bytes()}B>"

@@ -1,0 +1,33 @@
+"""Pluggable binary loaders: turn file *bytes* into runnable programs.
+
+Image-baked files carry their behaviour directly (``FileEntry.program``).
+Files that arrive over the simulated network — the Mirai binary that
+``curl`` downloads from the attacker's file server — are plain bytes, so
+executing them needs a loader that recognizes the format.
+:mod:`repro.binaries.binfmt` registers such a loader for its emulated
+"ELF" images; this module is just the registry, so the container layer
+does not depend on the binaries layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+#: loader(data) -> (program_factory, process_name, rss_bytes) or None
+BinaryLoader = Callable[[bytes], Optional[Tuple[Callable, str, int]]]
+
+_loaders: List[BinaryLoader] = []
+
+
+def register_loader(loader: BinaryLoader) -> None:
+    """Register a loader; later registrations are tried first."""
+    _loaders.insert(0, loader)
+
+
+def resolve_program(data: bytes) -> Optional[Tuple[Callable, str, int]]:
+    """Try every registered loader; None when no format matches."""
+    for loader in _loaders:
+        resolved = loader(data)
+        if resolved is not None:
+            return resolved
+    return None

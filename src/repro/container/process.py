@@ -1,0 +1,132 @@
+"""Container processes and the context handed to emulated programs.
+
+An emulated "binary" is a generator function ``program(ctx)``; the runtime
+wraps it in a :class:`repro.netsim.process.SimProcess`.  ``ctx`` is this
+module's :class:`ProcessContext`: the process's window onto its container
+(filesystem, process table, network namespace) — roughly what a real
+process sees through the kernel.
+
+Process names are *mutable* because Mirai obfuscates its own process name
+after infection, and Mirai's rival-killing scans the process table by name
+and by bound port — both behaviours the paper reproduces and we model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, List, Optional, Set
+
+from repro.netsim.process import ProcessKilled, SimFuture, SimProcess, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.container.container import Container
+
+#: default resident-set size charged per process (bytes)
+DEFAULT_PROCESS_RSS = 2 * 1024 * 1024
+
+
+class ProcessContext:
+    """What an emulated program can see and do."""
+
+    def __init__(self, container: "Container", process: "ContainerProcess"):
+        self.container = container
+        self.process = process
+        self.sim = container.sim
+        # Deterministic per-process randomness (ASLR draws, jitter):
+        # derived from the container's seed so whole runs replay exactly.
+        self.rng = random.Random(
+            f"{container.seed}/{container.id}/{process.pid}/process-rng"
+        )
+
+    # Convenience proxies -------------------------------------------------
+    @property
+    def fs(self):
+        return self.container.fs
+
+    @property
+    def netns(self):
+        """The container's network namespace (None if not attached)."""
+        return self.container.netns
+
+    @property
+    def argv(self) -> List[str]:
+        return self.process.argv
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def sleep(self, seconds: float) -> Timeout:
+        """``yield ctx.sleep(x)`` suspends the process for x virtual secs."""
+        return Timeout(self.sim, seconds)
+
+    def spawn(self, argv: List[str], name: Optional[str] = None) -> "ContainerProcess":
+        """fork+exec a sibling process in the same container."""
+        return self.container.exec_run(argv, name=name)
+
+    def set_process_name(self, name: str) -> None:
+        """prctl(PR_SET_NAME) — Mirai's obfuscation hook."""
+        self.process.name = name
+
+    def bind_port_marker(self, port: int) -> None:
+        """Record that this process holds ``port`` (for rival killing)."""
+        self.process.bound_ports.add(port)
+
+    def release_port_marker(self, port: int) -> None:
+        self.process.bound_ports.discard(port)
+
+    def log(self, message: str) -> None:
+        self.container.log(f"[pid {self.pid} {self.process.name}] {message}")
+
+
+class ContainerProcess:
+    """One entry in a container's process table."""
+
+    def __init__(
+        self,
+        container: "Container",
+        pid: int,
+        argv: List[str],
+        program: Callable,
+        name: Optional[str] = None,
+        rss_bytes: int = DEFAULT_PROCESS_RSS,
+    ):
+        self.container = container
+        self.pid = pid
+        self.argv = list(argv)
+        self.name = name or (argv[0].rsplit("/", 1)[-1] if argv else "proc")
+        self.rss_bytes = rss_bytes
+        self.bound_ports: Set[int] = set()
+        self.context = ProcessContext(container, self)
+        self.exited = False
+        self.exit_value = None
+        self.exit_error: Optional[BaseException] = None
+        self._sim_process = SimProcess(
+            container.sim, program(self.context), name=f"{container.name}:{self.name}"
+        )
+        self._sim_process.add_callback(self._on_exit)
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self.exited
+
+    @property
+    def future(self) -> SimFuture:
+        """Future resolving when the process exits (waitpid analogue)."""
+        return self._sim_process
+
+    def kill(self) -> None:
+        """SIGKILL analogue: raise ProcessKilled inside the coroutine."""
+        self._sim_process.kill(ProcessKilled(f"pid {self.pid} ({self.name}) killed"))
+
+    def _on_exit(self, future: SimFuture) -> None:
+        self.exited = True
+        self.exit_value = future.value
+        self.exit_error = future.error
+        self.bound_ports.clear()
+        self.container._reap(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "exited" if self.exited else "running"
+        return f"<ContainerProcess pid={self.pid} {self.name!r} {state}>"

@@ -1,0 +1,105 @@
+"""The container engine: image store, container lifecycle, stats.
+
+The `docker` daemon analogue.  DDoSim's initialization phase (§IV-A of
+the paper) — "creating and building Docker containers for Attacker and
+Devs ... connecting them to the virtual network interfaces and bridges"
+— maps onto :meth:`ContainerRuntime.create`, :meth:`attach_network` and
+:meth:`ContainerRuntime.start`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.container.container import Container, ContainerError
+from repro.container.image import Image
+from repro.container.veth import VethPair
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+
+
+class ContainerRuntime:
+    """Engine owning all images and containers of one simulation."""
+
+    def __init__(self, sim: Simulator, seed: int = 0):
+        self.sim = sim
+        self.seed = seed
+        self.images: Dict[str, Image] = {}
+        self.containers: Dict[str, Container] = {}
+        self._id_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Images
+    # ------------------------------------------------------------------
+    def add_image(self, image: Image) -> Image:
+        """Register an image under its ``name:tag`` reference."""
+        self.images[image.reference] = image
+        return image
+
+    def get_image(self, reference: str) -> Image:
+        if ":" not in reference:
+            reference = f"{reference}:latest"
+        image = self.images.get(reference)
+        if image is None:
+            raise ContainerError(f"image not found: {reference}")
+        return image
+
+    # ------------------------------------------------------------------
+    # Containers
+    # ------------------------------------------------------------------
+    def create(self, image_reference: str, name: Optional[str] = None) -> Container:
+        image = self.get_image(image_reference)
+        container_id = f"c{next(self._id_counter):06d}"
+        name = name or f"{image.name}-{container_id}"
+        if name in self.containers:
+            raise ContainerError(f"container name {name!r} already in use")
+        container = Container(self.sim, container_id, name, image, seed=self.seed)
+        self.containers[name] = container
+        return container
+
+    def attach_network(self, container: Container, ghost_node: Node) -> VethPair:
+        """Bridge ``container`` into the simulation via ``ghost_node``."""
+        return VethPair(container, ghost_node)
+
+    def start(self, container: Container) -> None:
+        if container.netns is None:
+            raise ContainerError(
+                f"{container.name}: start before attach_network (no eth0)"
+            )
+        container.start()
+
+    def stop(self, container: Container) -> None:
+        container.stop()
+
+    def remove(self, container: Container) -> None:
+        if container.state == "running":
+            raise ContainerError(f"{container.name}: stop before remove")
+        self.containers.pop(container.name, None)
+
+    def stop_all(self) -> None:
+        """The cleaning routine: stop every container (the paper reports
+        having to fix NS3DockerEmulator's cleanup crashes — ours is
+        idempotent and exception-free by construction)."""
+        for container in list(self.containers.values()):
+            container.stop()
+
+    # ------------------------------------------------------------------
+    # Stats (docker stats analogue)
+    # ------------------------------------------------------------------
+    def running_containers(self) -> List[Container]:
+        return [
+            container
+            for container in self.containers.values()
+            if container.state == "running"
+        ]
+
+    def stats(self) -> List[Tuple[str, int]]:
+        """(name, memory_bytes) for every running container."""
+        return [
+            (container.name, container.memory_bytes())
+            for container in self.running_containers()
+        ]
+
+    def total_memory_bytes(self) -> int:
+        return sum(memory for _name, memory in self.stats())

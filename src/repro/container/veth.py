@@ -1,0 +1,64 @@
+"""veth/TapBridge emulation: splicing containers into the simulated net.
+
+NS3DockerEmulator's trick (paper §II-A): a Linux veth pair bridges the
+container's ``eth0`` to an NS-3 *ghost node* whose TapBridge NetDevice
+replays the traffic into the simulation, so the container believes it is
+directly attached to the simulated network.
+
+Here the ghost node is a real :class:`repro.netsim.node.Node`; the
+:class:`NetNamespace` a container receives is a socket factory bound to
+that node, so container programs do ordinary socket I/O and their packets
+traverse the simulated Internet like everyone else's.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.netsim.address import Address, Ipv6Address
+from repro.netsim.node import Node
+from repro.netsim.sockets import TcpServerSocket, TcpSocket, UdpSocket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.container.container import Container
+
+
+class NetNamespace:
+    """A container's view of its network: socket factories over one node."""
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    def address(self, want_ipv6: bool = True) -> Optional[Address]:
+        """The namespace's primary address (the ghost node's)."""
+        return self.node.primary_address(want_ipv6)
+
+    def udp_socket(self, port: int = 0) -> UdpSocket:
+        return UdpSocket(self.node, port)
+
+    def tcp_connect(self, address: Address, port: int) -> TcpSocket:
+        return TcpSocket.connect(self.node, address, port)
+
+    def tcp_listen(self, port: int) -> TcpServerSocket:
+        return TcpServerSocket(self.node, port)
+
+    def join_multicast(self, group: Ipv6Address) -> None:
+        self.node.ip.join_multicast(group)
+
+
+class VethPair:
+    """The bridge record tying a container to its ghost node."""
+
+    def __init__(self, container: "Container", ghost_node: Node):
+        self.container = container
+        self.ghost_node = ghost_node
+        self.netns = NetNamespace(ghost_node)
+        container.netns = self.netns
+
+    def detach(self) -> None:
+        """Tear the bridge down (container loses network access)."""
+        if self.container.netns is self.netns:
+            self.container.netns = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<VethPair {self.container.name} <-> {self.ghost_node.name}>"

@@ -1,0 +1,41 @@
+"""repro.core — DDoSim: the paper's framework, assembled.
+
+:class:`~repro.core.framework.DDoSim` wires the three components of a
+botnet DDoS attack (paper §II) over the simulated Internet:
+
+* **Attacker** (:mod:`repro.core.attacker`) — a container hosting the
+  Exploit & Infection Scripts, the Mirai C&C server, the malicious DNS
+  server, the DHCPv6 exploit sender and the Apache-analogue file server;
+* **Devs** (:mod:`repro.core.devs`) — N containers running the vulnerable
+  Connman/Dnsmasq analogues on 100–500 kbps IoT access links;
+* **TServer** (:mod:`repro.core.tserver`) — an NS-3-style node with the
+  customized packet sink that records attack magnitude.
+
+Around them: Fan-et-al churn (:mod:`repro.core.churn`), Eq. 2 metrics
+(:mod:`repro.core.metrics`), the Table-I host-resource model
+(:mod:`repro.core.resources`) and sweep runners
+(:mod:`repro.core.experiment`).
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.churn import ChurnState, DynamicChurn, StaticChurn, leaving_probability
+from repro.core.framework import DDoSim
+from repro.core.metrics import average_received_rate_kbps
+from repro.core.resources import ResourceModel, ResourceReport
+from repro.core.results import RunResult
+from repro.core.telemetry import TelemetrySampler, TelemetrySeries
+
+__all__ = [
+    "ChurnState",
+    "DDoSim",
+    "DynamicChurn",
+    "ResourceModel",
+    "ResourceReport",
+    "RunResult",
+    "SimulationConfig",
+    "StaticChurn",
+    "TelemetrySampler",
+    "TelemetrySeries",
+    "average_received_rate_kbps",
+    "leaving_probability",
+]

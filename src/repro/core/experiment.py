@@ -1,0 +1,280 @@
+"""Sweep runners that regenerate every table and figure in the paper.
+
+Each function runs the corresponding experiment grid and returns row
+dicts ready for :func:`repro.core.results.format_table`; the benchmark
+harness under ``benchmarks/`` is a thin wrapper around these.
+
+Grids default to the paper's parameters.  Because the paper's own runs
+took minutes per point on real hardware, each runner accepts a reduced
+grid for quick passes; ``REPRO_FULL=1`` in the environment switches the
+benchmarks to the full published grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import CHURN_DYNAMIC, CHURN_NONE, CHURN_STATIC, SimulationConfig
+from repro.core.framework import DDoSim
+from repro.core.results import RunResult
+
+#: the paper's grids
+FIGURE2_DEVS_FULL = (10, 30, 50, 70, 90, 110, 130, 150)
+FIGURE2_CHURN = (CHURN_NONE, CHURN_STATIC, CHURN_DYNAMIC)
+FIGURE3_DURATIONS = (150.0, 200.0, 300.0)
+FIGURE3_DEVS_FULL = (50, 100, 150, 200)
+TABLE1_DEVS = (20, 40, 70, 100, 130)
+FIGURE4_DEVS_FULL = tuple(range(1, 20))
+
+#: reduced grids for quick benchmark passes
+FIGURE2_DEVS_QUICK = (10, 50, 100, 150)
+FIGURE3_DEVS_QUICK = (50, 100)
+FIGURE4_DEVS_QUICK = (1, 4, 7, 10, 13, 16, 19)
+
+
+def run_single(config: SimulationConfig) -> RunResult:
+    """Run one configuration to completion."""
+    return DDoSim(config).run()
+
+
+# ----------------------------------------------------------------------
+# Figure 2: received rate vs number of Devs at three churn levels
+# ----------------------------------------------------------------------
+def run_figure2(
+    devs_grid: Sequence[int] = FIGURE2_DEVS_QUICK,
+    churn_modes: Sequence[str] = FIGURE2_CHURN,
+    seed: int = 1,
+    base_config: Optional[SimulationConfig] = None,
+) -> List[Dict[str, object]]:
+    """100-second attacks across a Devs x churn grid."""
+    rows: List[Dict[str, object]] = []
+    for churn in churn_modes:
+        for n_devs in devs_grid:
+            config = _derive(base_config, n_devs=n_devs, churn=churn, seed=seed)
+            result = run_single(config)
+            rows.append(
+                {
+                    "churn": churn,
+                    "n_devs": n_devs,
+                    "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+                    "offered_kbps": round(result.attack.offered_kbps, 1),
+                    "bots_at_attack": result.attack.bots_commanded,
+                    "delivery_ratio": round(result.attack.delivery_ratio, 3),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 3: received rate vs attack duration for several fleet sizes
+# ----------------------------------------------------------------------
+def run_figure3(
+    devs_grid: Sequence[int] = FIGURE3_DEVS_QUICK,
+    durations: Sequence[float] = FIGURE3_DURATIONS,
+    seed: int = 1,
+    base_config: Optional[SimulationConfig] = None,
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for n_devs in devs_grid:
+        for duration in durations:
+            config = _derive(
+                base_config,
+                n_devs=n_devs,
+                attack_duration=duration,
+                seed=seed,
+                sim_duration=max(600.0, duration + 120.0),
+            )
+            result = run_single(config)
+            rows.append(
+                {
+                    "n_devs": n_devs,
+                    "attack_duration_s": duration,
+                    "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+                    "received_mbit_total": round(
+                        result.attack.received_bytes * 8 / 1e6, 1
+                    ),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table I: host resources consumed per run
+# ----------------------------------------------------------------------
+def run_table1(
+    devs_grid: Sequence[int] = TABLE1_DEVS,
+    seed: int = 1,
+    base_config: Optional[SimulationConfig] = None,
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for n_devs in devs_grid:
+        config = _derive(base_config, n_devs=n_devs, seed=seed)
+        result = run_single(config)
+        rows.append(
+            {
+                "n_devs": n_devs,
+                "pre_attack_mem_gb": round(result.resources.pre_attack_mem_gb, 2),
+                "attack_mem_gb": round(result.resources.attack_mem_gb, 2),
+                "attack_time": result.resources.attack_time_mmss(),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4: real-hardware model vs DDoSim
+# ----------------------------------------------------------------------
+def run_figure4(
+    devs_grid: Sequence[int] = FIGURE4_DEVS_QUICK,
+    seed: int = 1,
+    attack_duration: float = 60.0,
+    base_config: Optional[SimulationConfig] = None,
+) -> List[Dict[str, object]]:
+    from repro.hardware.testbed import HardwareTestbed
+
+    rows: List[Dict[str, object]] = []
+    for n_devs in devs_grid:
+        config = _derive(
+            base_config,
+            n_devs=n_devs,
+            seed=seed,
+            attack_duration=attack_duration,
+            sim_duration=attack_duration + 150.0,
+        )
+        ddosim_result = run_single(config)
+        hardware_result = HardwareTestbed(config).run()
+        sim_kbps = ddosim_result.attack.avg_received_kbps
+        hw_kbps = hardware_result.attack.avg_received_kbps
+        divergence = abs(sim_kbps - hw_kbps) / hw_kbps if hw_kbps else 0.0
+        rows.append(
+            {
+                "n_devs": n_devs,
+                "hardware_kbps": round(hw_kbps, 1),
+                "ddosim_kbps": round(sim_kbps, 1),
+                "relative_divergence": round(divergence, 3),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# R1/R2: recruitment-only sweep over CVEs and protection profiles
+# ----------------------------------------------------------------------
+def run_recruitment(
+    n_devs: int = 16,
+    seed: int = 1,
+    base_config: Optional[SimulationConfig] = None,
+) -> List[Dict[str, object]]:
+    """Infection rate per (binary, protection profile) — the R2 answer."""
+    rows: List[Dict[str, object]] = []
+    for binary_mix in ("connman", "dnsmasq"):
+        for profile in ((), ("wx",), ("aslr",), ("wx", "aslr")):
+            config = _derive(
+                base_config,
+                n_devs=n_devs,
+                seed=seed,
+                binary_mix=binary_mix,
+                protection_profiles=(profile,),
+                attack_duration=10.0,
+                sim_duration=180.0,
+            )
+            result = run_single(config)
+            rows.append(
+                {
+                    "binary": binary_mix,
+                    "protections": "+".join(profile) or "none",
+                    "devs": n_devs,
+                    "recruited": result.recruitment.bots_recruited,
+                    "infection_rate": round(result.recruitment.infection_rate, 3),
+                    "leaks": result.recruitment.leaks_harvested,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Baseline: memory-error recruitment vs the default-credential vector
+# ----------------------------------------------------------------------
+def run_vector_comparison(
+    n_devs: int = 20,
+    seed: int = 1,
+    weak_credential_fraction: float = 0.6,
+    base_config: Optional[SimulationConfig] = None,
+) -> List[Dict[str, object]]:
+    """Same fleet, three recruitment vectors (the paper's R1 contrast:
+    memory-error exploits vs the classic Mirai credential dictionary)."""
+    rows: List[Dict[str, object]] = []
+    for vector in ("credentials", "memory_error", "both"):
+        config = _derive(
+            base_config,
+            n_devs=n_devs,
+            seed=seed,
+            recruitment_vector=vector,
+            weak_credential_fraction=weak_credential_fraction,
+            attack_duration=30.0,
+            sim_duration=300.0,
+        )
+        ddosim = DDoSim(config)
+        result = ddosim.run()
+        weak = ddosim.devs.weak_credential_count()
+        rows.append(
+            {
+                "vector": vector,
+                "devs": n_devs,
+                "weak_credential_devs": weak,
+                "recruited": result.recruitment.bots_recruited,
+                "infection_rate": round(result.recruitment.infection_rate, 3),
+                "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Emulation-mode comparison: containers (the paper's choice) vs
+# Firmadyne/QEMU full-firmware emulation (§III-B's alternative)
+# ----------------------------------------------------------------------
+def run_emulation_comparison(
+    n_devs: int = 15,
+    seed: int = 1,
+    base_config: Optional[SimulationConfig] = None,
+) -> List[Dict[str, object]]:
+    """Same experiment under both Dev emulation modes.
+
+    Quantifies the paper's scalability rationale: full-system emulation
+    "requires significant processing powers, which limits DDoSim's
+    scalability" — while recruitment outcomes are identical because only
+    the network-facing program's vulnerability matters.
+    """
+    rows: List[Dict[str, object]] = []
+    for mode in ("container", "firmware"):
+        config = _derive(
+            base_config,
+            n_devs=n_devs,
+            seed=seed,
+            dev_emulation=mode,
+            attack_duration=30.0,
+            sim_duration=300.0,
+        )
+        ddosim = DDoSim(config)
+        result = ddosim.run()
+        rows.append(
+            {
+                "emulation": mode,
+                "devs": n_devs,
+                "infection_rate": round(result.recruitment.infection_rate, 3),
+                "first_bot_s": round(result.recruitment.first_bot_time or 0.0, 1),
+                "fleet_memory_mb": round(
+                    ddosim.runtime.total_memory_bytes() / 1e6, 1
+                ),
+                "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+            }
+        )
+    return rows
+
+
+def _derive(base: Optional[SimulationConfig], **overrides) -> SimulationConfig:
+    if base is None:
+        return SimulationConfig(**overrides)
+    return replace(base, **overrides)

@@ -1,0 +1,45 @@
+"""Attack-magnitude metrics — Eq. 2 of the paper.
+
+The paper's headline metric is the **average received data rate**::
+
+    D_received = (sum_i sum_j d_{j,i}) / n        [Eq. 2]
+
+where ``n`` is the attack duration in seconds and ``d_{j,i}`` is the
+traffic (kilobits) TServer received from device ``j`` during second
+``i``.  The :class:`repro.netsim.sink.PacketSink` already bins received
+bytes per second; these helpers turn bins into the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netsim.sink import PacketSink
+
+
+def average_received_rate_kbps(sink: PacketSink, start: float, end: float) -> float:
+    """Eq. 2: total kilobits received over [start, end) divided by the
+    duration in seconds."""
+    duration = end - start
+    if duration <= 0:
+        return 0.0
+    total_bytes = sink.bytes_received_between(start, end)
+    return total_bytes * 8.0 / 1000.0 / duration
+
+
+def received_rate_series_kbps(sink: PacketSink, start: float, end: float) -> List[float]:
+    """Per-second received rate over the attack window (for plotting)."""
+    return sink.rate_series_kbps(start, end)
+
+
+def peak_received_rate_kbps(sink: PacketSink, start: float, end: float) -> float:
+    series = sink.rate_series_kbps(start, end)
+    return max(series) if series else 0.0
+
+
+def delivery_ratio(received_bytes: int, offered_bytes: int) -> float:
+    """Fraction of flood bytes that actually reached TServer (congestion
+    loss shows up as a ratio < 1 — the Figure 2 sublinearity mechanism)."""
+    if offered_bytes <= 0:
+        return 0.0
+    return min(1.0, received_bytes / offered_bytes)

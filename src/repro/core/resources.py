@@ -1,0 +1,116 @@
+"""The host-resource model behind Table I.
+
+Table I of the paper reports what *the emulator itself* costs on a
+16 GB / 2.7 GHz laptop: memory before and during the attack, and the
+wall-clock "Attack Time" (which exceeds the simulated 100 s because the
+host queues NS-3 event processing and Docker scheduling).
+
+This reproduction has no Docker daemon or NS-3 process to measure, so the
+cost structure is modelled and driven by the simulation's real outputs
+(container census, actual flood byte counts):
+
+* ``pre_attack_mem = host_base + Σ container_rss + per_dev_emulator_overhead``
+  — container RSS comes from the emulated runtime's accounting; the
+  per-Dev overhead covers the ghost node + TapBridge + veth plumbing.
+* ``attack_mem = pre_attack_mem + packet_overhead × flood_bytes`` —
+  NS-3 keeps generated packets (with heavy per-packet metadata) alive in
+  queues/trace buffers during the flood; the paper's 130-Dev run shows
+  1.79 GB of packet state for ~490 MB of raw flood bytes (130 Devs at a
+  ~300 kbps mean for 100 s), i.e. a ~3.7× metadata blow-up, which is the
+  default factor here.
+* ``attack_time = duration + per_dev_cost × n + per_packet_cost × packets``
+  — host event-processing backlog grows with both the container census
+  and the packet volume.
+
+Constants are calibrated so the published table's *shape* (monotone
+growth, attack > pre-attack with a widening gap, attack time > simulated
+duration) and rough magnitudes are reproduced; EXPERIMENTS.md records
+paper-vs-model values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024.0 ** 3
+
+#: host baseline: VM guest OS + Docker daemon + NS-3 runtime (GB)
+HOST_BASE_GB = 0.20
+#: emulator plumbing per Dev: ghost node, TapBridge, veth pair (bytes)
+PER_DEV_EMULATOR_BYTES = int(2.5 * 1024 * 1024)
+#: NS-3 per-byte packet-metadata blow-up during the attack
+PACKET_MEMORY_FACTOR = 3.7
+#: host-side scheduling cost per Dev container (seconds of wall clock)
+PER_DEV_TIME_COST = 0.20
+#: host-side event-processing cost per flood packet (seconds)
+PER_PACKET_TIME_COST = 1.5e-4
+
+
+@dataclass
+class ResourceReport:
+    """Model outputs for one run — one Table I row."""
+
+    n_devs: int
+    pre_attack_mem_gb: float
+    attack_mem_gb: float
+    attack_time_s: float
+
+    def attack_time_mmss(self) -> str:
+        """Table I formats attack time as m:ss."""
+        minutes, seconds = divmod(int(round(self.attack_time_s)), 60)
+        return f"{minutes}:{seconds:02d}"
+
+
+class ResourceModel:
+    """Computes :class:`ResourceReport` from simulation measurements."""
+
+    def __init__(
+        self,
+        host_base_gb: float = HOST_BASE_GB,
+        per_dev_emulator_bytes: int = PER_DEV_EMULATOR_BYTES,
+        packet_memory_factor: float = PACKET_MEMORY_FACTOR,
+        per_dev_time_cost: float = PER_DEV_TIME_COST,
+        per_packet_time_cost: float = PER_PACKET_TIME_COST,
+    ):
+        self.host_base_gb = host_base_gb
+        self.per_dev_emulator_bytes = per_dev_emulator_bytes
+        self.packet_memory_factor = packet_memory_factor
+        self.per_dev_time_cost = per_dev_time_cost
+        self.per_packet_time_cost = per_packet_time_cost
+
+    def pre_attack_memory_gb(self, n_devs: int, container_bytes: int) -> float:
+        """Memory after container init + NS-3 start, before the flood."""
+        emulator = n_devs * self.per_dev_emulator_bytes
+        return self.host_base_gb + (container_bytes + emulator) / GB
+
+    def attack_memory_gb(
+        self, n_devs: int, container_bytes: int, flood_bytes: int
+    ) -> float:
+        """Memory at the height of the flood."""
+        pre = self.pre_attack_memory_gb(n_devs, container_bytes)
+        return pre + flood_bytes * self.packet_memory_factor / GB
+
+    def attack_time_s(
+        self, n_devs: int, attack_duration: float, flood_packets: int
+    ) -> float:
+        """Wall-clock time of the attack phase on the modelled host."""
+        return (
+            attack_duration
+            + self.per_dev_time_cost * n_devs
+            + self.per_packet_time_cost * flood_packets
+        )
+
+    def report(
+        self,
+        n_devs: int,
+        container_bytes: int,
+        flood_bytes: int,
+        flood_packets: int,
+        attack_duration: float,
+    ) -> ResourceReport:
+        return ResourceReport(
+            n_devs=n_devs,
+            pre_attack_mem_gb=self.pre_attack_memory_gb(n_devs, container_bytes),
+            attack_mem_gb=self.attack_memory_gb(n_devs, container_bytes, flood_bytes),
+            attack_time_s=self.attack_time_s(n_devs, attack_duration, flood_packets),
+        )

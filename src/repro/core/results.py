@@ -1,0 +1,111 @@
+"""Result records for DDoSim runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.resources import ResourceReport
+
+
+@dataclass
+class RecruitmentStats:
+    """Research questions R1/R2: who got recruited, and how."""
+
+    devs_total: int = 0
+    devs_online_at_start: int = 0
+    bots_recruited: int = 0
+    bots_at_attack: int = 0
+    exploits_delivered: int = 0
+    leaks_harvested: int = 0
+    first_bot_time: Optional[float] = None
+    last_bot_time: Optional[float] = None
+    #: recruited count per binary kind ("connman"/"dnsmasq")
+    by_binary: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def infection_rate(self) -> float:
+        """Fraction of reachable Devs recruited (the paper reports 100%)."""
+        if self.devs_online_at_start == 0:
+            return 0.0
+        return self.bots_recruited / self.devs_online_at_start
+
+
+@dataclass
+class AttackStatsSummary:
+    """Research question R3: what the flood did to TServer."""
+
+    issued_at: float = 0.0
+    duration: float = 0.0
+    bots_commanded: int = 0
+    avg_received_kbps: float = 0.0
+    peak_received_kbps: float = 0.0
+    offered_kbps: float = 0.0
+    offered_bytes: int = 0
+    offered_packets: int = 0
+    received_bytes: int = 0
+    received_packets: int = 0
+    queue_drops: int = 0
+    delivery_ratio: float = 0.0
+
+
+@dataclass
+class ChurnSummary:
+    mode: str = "none"
+    departures: int = 0
+    rejoins: int = 0
+    online_at_end: int = 0
+
+
+@dataclass
+class RunResult:
+    """Everything one DDoSim run produced."""
+
+    n_devs: int
+    seed: int
+    churn_mode: str
+    attack_duration: float
+    recruitment: RecruitmentStats
+    attack: AttackStatsSummary
+    churn: ChurnSummary
+    resources: ResourceReport
+    #: per-second received-rate series over the attack window (kbps)
+    rate_series_kbps: List[float] = field(default_factory=list)
+    events_executed: int = 0
+    sim_end_time: float = 0.0
+
+    def row(self) -> Dict[str, object]:
+        """A flat record for table printing / CSV-ish dumps."""
+        return {
+            "n_devs": self.n_devs,
+            "churn": self.churn_mode,
+            "attack_duration_s": self.attack_duration,
+            "infection_rate": round(self.recruitment.infection_rate, 4),
+            "bots": self.recruitment.bots_recruited,
+            "avg_received_kbps": round(self.attack.avg_received_kbps, 1),
+            "offered_kbps": round(self.attack.offered_kbps, 1),
+            "delivery_ratio": round(self.attack.delivery_ratio, 4),
+            "pre_attack_mem_gb": round(self.resources.pre_attack_mem_gb, 2),
+            "attack_mem_gb": round(self.resources.attack_mem_gb, 2),
+            "attack_time": self.resources.attack_time_mmss(),
+        }
+
+
+def format_table(rows: List[Dict[str, object]], columns: Optional[List[str]] = None) -> str:
+    """Monospace-align a list of row dicts (benchmark output helper)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""repro.firmware — Firmadyne-style full-firmware emulation of Devs.
+
+Paper §II-B / §III-B: DDoSim mimics IoT devices with lightweight
+containers *for scalability*, but "with more powerful hardware, DDoSim
+can perform complete emulation of IoT firmware using Firmadyne (which
+leverages QEMU for full IoT firmware emulation) and connect it to the
+NS-3 network using virtual bridges."
+
+This package provides that heavier mode:
+
+* :mod:`repro.firmware.image` — firmware images: vendor metadata, an
+  NVRAM config store, and a *full* rootfs (init, syslogd, watchdog, a
+  busybox web management UI, telnet/ssh services) around the same
+  vulnerable network daemon;
+* :mod:`repro.firmware.qemu` — the QEMU/Firmadyne system wrapper: guest
+  RAM reserved up front, a staged boot sequence (kernel → init →
+  services) before the daemon is reachable, bridged into the simulated
+  network like any other node.
+
+Selecting ``dev_emulation="firmware"`` in
+:class:`repro.core.config.SimulationConfig` runs the whole experiment
+series against fully-emulated devices — the recruitment chain is
+unchanged (that is the point), but the per-device footprint is ~10×,
+quantifying the scalability argument for containers.
+"""
+
+from repro.firmware.image import FirmwareImage, FirmwareMetadata, build_firmware
+from repro.firmware.qemu import QemuSystem
+
+__all__ = [
+    "FirmwareImage",
+    "FirmwareMetadata",
+    "QemuSystem",
+    "build_firmware",
+]

@@ -1,0 +1,141 @@
+"""IoT firmware images: what Firmadyne would unpack and boot.
+
+A :class:`FirmwareImage` is the full vendor artifact — not just the one
+network-facing binary the container mode ships, but a complete userland
+(init, syslogd, watchdog, web management UI, telnet/ssh, the network
+daemon) plus an NVRAM configuration store.  The vulnerable daemon inside
+is byte-identical to the container mode's, so exploitability is the same
+across emulation modes — exactly the paper's claim that "a device's
+susceptibility to botnet recruitment is predominantly determined by the
+vulnerability of its network-facing program".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.binaries.busybox import make_dropbear_binary
+from repro.binaries.connman import make_connman_binary
+from repro.binaries.dnsmasq import make_dnsmasq_binary
+from repro.binaries.logind import make_login_telnetd_binary
+from repro.binaries.shell import make_shell_program
+from repro.container.fs import InMemoryFilesystem
+
+#: typical guest RAM of the device classes the paper's binaries ship on
+DEFAULT_GUEST_RAM = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FirmwareMetadata:
+    """Vendor identification, as Firmadyne's extractor would report it."""
+
+    vendor: str
+    product: str
+    version: str
+    architecture: str = "x86_64"
+    kernel: str = "2.6.36"
+
+
+@dataclass
+class FirmwareImage:
+    """One unpacked firmware: metadata + rootfs + NVRAM."""
+
+    metadata: FirmwareMetadata
+    rootfs: InMemoryFilesystem
+    nvram: Dict[str, str] = field(default_factory=dict)
+    guest_ram_bytes: int = DEFAULT_GUEST_RAM
+    #: the network-facing daemon's path inside the rootfs
+    daemon_path: str = ""
+
+    @property
+    def flash_size_bytes(self) -> int:
+        return self.rootfs.total_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        meta = self.metadata
+        return (
+            f"<FirmwareImage {meta.vendor} {meta.product} {meta.version} "
+            f"[{meta.architecture}] {self.flash_size_bytes // 1024}KiB flash>"
+        )
+
+
+_VENDORS = {
+    "connman": ("Jolla", "SailfishGW"),
+    "dnsmasq": ("Netgear", "WNR2000-clone"),
+}
+
+
+def build_firmware(
+    kind: str = "dnsmasq",
+    protections: Tuple[str, ...] = ("wx",),
+    vulnerable: bool = True,
+    version: str = "",
+) -> FirmwareImage:
+    """Assemble a complete firmware around the chosen vulnerable daemon.
+
+    ``kind`` is "connman" or "dnsmasq"; the daemon build matches what
+    :mod:`repro.core.devs` ships in container mode (same gadget layout),
+    so one analyzed exploit works against both emulation modes.
+    """
+    if kind == "connman":
+        daemon = make_connman_binary(
+            protections=protections, vulnerable=vulnerable,
+            **({"version": version} if version else {}),
+        )
+        daemon_path = "/usr/sbin/connmand"
+    elif kind == "dnsmasq":
+        daemon = make_dnsmasq_binary(
+            protections=protections, vulnerable=vulnerable,
+            **({"version": version} if version else {}),
+        )
+        daemon_path = "/usr/sbin/dnsmasq"
+    else:
+        raise ValueError(f"unknown firmware kind {kind!r}")
+
+    vendor, product = _VENDORS[kind]
+    rootfs = InMemoryFilesystem()
+    rootfs.write_file("/bin/sh", b"#!sh\x00", mode=0o755,
+                      program=make_shell_program())
+    rootfs.write_file(daemon_path, daemon.serialize(), mode=0o755)
+    rootfs.write_file(
+        "/usr/sbin/telnetd", make_login_telnetd_binary().serialize(), mode=0o755
+    )
+    rootfs.write_file(
+        "/usr/sbin/dropbear", make_dropbear_binary().serialize(), mode=0o755
+    )
+    # Vendor web management UI content (served by the emulated httpd).
+    rootfs.write_file(
+        "/www/index.html",
+        (
+            f"<html><head><title>{vendor} {product}</title></head>"
+            f"<body><h1>{product} management</h1>"
+            f"<p>firmware {daemon.version}</p></body></html>"
+        ).encode(),
+    )
+    rootfs.write_file(
+        "/etc/banner", f"{vendor} {product} (kernel 2.6.36)\n".encode()
+    )
+    rootfs.write_file("/etc/passwd", b"root:x:0:0:root:/root:/bin/sh\n")
+    # Padding blobs model the rest of the vendor rootfs (libs, locales).
+    rootfs.write_file("/lib/libc.so.0", b"\x7fELF" + b"\x00" * (620 * 1024))
+    rootfs.write_file("/lib/libgcc_s.so.1", b"\x7fELF" + b"\x00" * (90 * 1024))
+
+    nvram = {
+        "lan_ipaddr": "192.168.1.1",
+        "wan_proto": "dhcp",
+        "http_username": "admin",
+        "http_password": "password",
+        "telnet_enabled": "1",
+    }
+    return FirmwareImage(
+        metadata=FirmwareMetadata(
+            vendor=vendor,
+            product=product,
+            version=daemon.version,
+            architecture=daemon.architecture,
+        ),
+        rootfs=rootfs,
+        nvram=nvram,
+        daemon_path=daemon_path,
+    )

@@ -1,0 +1,26 @@
+"""repro.hardware — the physical-testbed model for framework validation.
+
+The paper validates DDoSim by re-running experiments on real hardware:
+Raspberry Pi 3 devices (Devs) on a Netgear Nighthawk X6's WiFi, with two
+Ethernet-attached desktops as Attacker and TServer (§IV-D, Figure 4).
+
+We cannot plug in Raspberry Pis, so this package models that testbed as
+an *independent code path* sharing no network model with DDoSim's star
+Internet: a CSMA/CA (802.11 DCF-style) shared wireless medium with
+contention, collisions, retries and random frame loss
+(:mod:`repro.hardware.wifi`), assembled into a drop-in network substrate
+(:class:`repro.hardware.testbed.WifiTestbedInternet`) that the same
+Attacker/Devs/TServer components run on.  Agreement between the two
+models' received-rate curves is the reproduction's analogue of the
+paper's hardware validation.
+"""
+
+from repro.hardware.testbed import HardwareTestbed, WifiTestbedInternet
+from repro.hardware.wifi import WifiChannel, WifiDevice
+
+__all__ = [
+    "HardwareTestbed",
+    "WifiChannel",
+    "WifiDevice",
+    "WifiTestbedInternet",
+]

@@ -1,0 +1,220 @@
+"""The hardware-testbed network substrate and validation runner.
+
+Mirrors the paper's §IV-D setup: "multiple Raspberry Pi 3 Model B
+devices, two desktop computers, and a Netgear Nighthawk X6 router ...
+We wirelessly connect Devs (with data rates limited to 100-500 kbps to
+mimic the actual bandwidth of IoT devices) and establish Ethernet
+connections for the desktops."
+
+:class:`WifiTestbedInternet` is duck-type compatible with
+:class:`repro.netsim.topology.StarInternet`, so the *same* DDoSim
+component code (Attacker, Devs, TServer, churn, metrics) runs unchanged
+on it — only the network fabric differs: slow hosts associate to a shared
+CSMA/CA WiFi medium, fast hosts get Ethernet point-to-point links.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hardware.wifi import WifiChannel, WifiDevice
+from repro.netsim.address import (
+    ALL_DHCP_RELAY_AGENTS_AND_SERVERS,
+    Address,
+    Ipv4Address,
+    Ipv4AddressAllocator,
+    Ipv6Address,
+    Ipv6AddressAllocator,
+)
+from repro.netsim.channel import PointToPointChannel
+from repro.netsim.netdevice import PointToPointDevice
+from repro.netsim.node import Node
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.simulator import Simulator
+
+#: hosts below this uplink rate associate over WiFi (IoT devices); faster
+#: hosts (the desktops) are cabled to the router
+WIRELESS_THRESHOLD_BPS = 10e6
+
+
+@dataclass
+class WifiHostLink:
+    """Association record for one wireless host (HostLink-compatible)."""
+
+    node: Node
+    host_device: WifiDevice
+    ipv6: Ipv6Address
+    ipv4: Ipv4Address
+
+    @property
+    def up(self) -> bool:
+        return self.host_device.up
+
+    def set_up(self, up: bool) -> None:
+        if up:
+            self.host_device.set_up()
+        else:
+            self.host_device.set_down()
+
+
+class WifiTestbedInternet:
+    """Netgear-router testbed fabric: WiFi stations + Ethernet desktops."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ipv6_prefix: str = "2001:db8:0:2",
+        ipv4_prefix: str = "192.168.1.0",
+        phy_rate_bps: float = 54e6,
+        wifi_loss_rate: float = 0.01,
+        ethernet_rate_bps: float = 1e9,
+        default_queue_packets: int = 100,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.router = Node(sim, "nighthawk-router")
+        self.router.ip.forwarding = True
+        self.wifi = WifiChannel(
+            sim, phy_rate_bps, wifi_loss_rate, rng or random.Random("wifi")
+        )
+        self.access_point = WifiDevice(
+            sim, phy_rate_bps, is_access_point=True, name="ap0"
+        )
+        self.router.add_device(self.access_point)
+        self.wifi.attach(self.access_point)
+        self.router.ip.add_multicast_route(
+            ALL_DHCP_RELAY_AGENTS_AND_SERVERS, [self.access_point]
+        )
+        self.ethernet_rate_bps = ethernet_rate_bps
+        self.default_queue_packets = default_queue_packets
+        self.links: Dict[Node, object] = {}
+        self._ipv6_pool = Ipv6AddressAllocator(ipv6_prefix)
+        self._ipv4_pool = Ipv4AddressAllocator(ipv4_prefix)
+
+    # ------------------------------------------------------------------
+    # StarInternet-compatible surface
+    # ------------------------------------------------------------------
+    def attach_host(
+        self,
+        node: Node,
+        data_rate_bps: float,
+        delay: float = 0.010,
+        downlink_rate_bps: Optional[float] = None,
+        queue_packets: Optional[int] = None,
+        dhcp6_multicast_member: bool = False,
+    ):
+        if node in self.links:
+            raise ValueError(f"{node.name} is already attached")
+        if data_rate_bps < WIRELESS_THRESHOLD_BPS:
+            link = self._attach_wireless(node, data_rate_bps, queue_packets)
+        else:
+            link = self._attach_wired(
+                node, delay, downlink_rate_bps, queue_packets
+            )
+        self.links[node] = link
+        return link
+
+    def _attach_wireless(self, node: Node, data_rate_bps: float,
+                         queue_packets: Optional[int]) -> WifiHostLink:
+        station = WifiDevice(
+            self.sim,
+            data_rate_bps,
+            queue_frames=queue_packets or self.default_queue_packets,
+            name=f"{node.name}-wlan0",
+        )
+        node.add_device(station)
+        self.wifi.attach(station)
+        station.access_point = self.access_point
+        ipv6 = self._ipv6_pool.allocate()
+        ipv4 = self._ipv4_pool.allocate()
+        node.ip.add_address(station, ipv6)
+        node.ip.add_address(station, ipv4)
+        node.ip.set_default_device(station)
+        self.access_point.associations[ipv6] = station
+        self.access_point.associations[ipv4] = station
+        self.router.ip.add_route(ipv6, self.access_point)
+        self.router.ip.add_route(ipv4, self.access_point)
+        return WifiHostLink(node, station, ipv6, ipv4)
+
+    def _attach_wired(self, node: Node, delay: float,
+                      downlink_rate_bps: Optional[float],
+                      queue_packets: Optional[int]):
+        from repro.netsim.topology import HostLink
+
+        queue_size = queue_packets or self.default_queue_packets
+        channel = PointToPointChannel(self.sim, delay=delay)
+        host_device = PointToPointDevice(
+            self.sim, self.ethernet_rate_bps, DropTailQueue(queue_size),
+            name=f"{node.name}-eth0",
+        )
+        router_device = PointToPointDevice(
+            self.sim,
+            downlink_rate_bps or self.ethernet_rate_bps,
+            DropTailQueue(queue_size),
+            name=f"router-to-{node.name}",
+        )
+        node.add_device(host_device)
+        self.router.add_device(router_device)
+        channel.attach(host_device)
+        channel.attach(router_device)
+        ipv6 = self._ipv6_pool.allocate()
+        ipv4 = self._ipv4_pool.allocate()
+        node.ip.add_address(host_device, ipv6)
+        node.ip.add_address(host_device, ipv4)
+        node.ip.set_default_device(host_device)
+        self.router.ip.add_route(ipv6, router_device)
+        self.router.ip.add_route(ipv4, router_device)
+        return HostLink(node, host_device, router_device, channel, ipv6, ipv4)
+
+    def link_of(self, node: Node):
+        return self.links[node]
+
+    def address_of(self, node: Node, want_ipv6: bool = True) -> Address:
+        link = self.links[node]
+        return link.ipv6 if want_ipv6 else link.ipv4
+
+    def set_host_up(self, node: Node, up: bool) -> None:
+        self.links[node].set_up(up)
+
+    def total_queue_drops(self) -> int:
+        drops = 0
+        for link in self.links.values():
+            device = link.host_device
+            if isinstance(device, WifiDevice):
+                drops += device.queue_drops + device.frames_dropped_retry
+            else:
+                drops += device.queue.dropped
+                drops += link.router_device.queue.dropped
+        drops += self.access_point.queue_drops + self.access_point.frames_dropped_retry
+        return drops
+
+
+class HardwareTestbed:
+    """Runs the validation experiment on the WiFi testbed model."""
+
+    def __init__(self, config, wifi_loss_rate: float = 0.01,
+                 phy_rate_bps: float = 54e6):
+        self.config = config
+        self.wifi_loss_rate = wifi_loss_rate
+        self.phy_rate_bps = phy_rate_bps
+
+    def run(self):
+        """Run the same experiment DDoSim runs, on the hardware model."""
+        from repro.core.framework import DDoSim
+
+        loss = self.wifi_loss_rate
+        phy = self.phy_rate_bps
+        seed = self.config.seed
+
+        def factory(sim, config):
+            return WifiTestbedInternet(
+                sim,
+                phy_rate_bps=phy,
+                wifi_loss_rate=loss,
+                default_queue_packets=config.queue_packets,
+                rng=random.Random(f"{seed}-wifi"),
+            )
+
+        return DDoSim(self.config, network_factory=factory).run()

@@ -1,0 +1,241 @@
+"""A CSMA/CA (802.11 DCF-style) shared wireless medium.
+
+Models the parts of WiFi that matter for the validation experiment:
+
+* one shared medium — only one frame at a time succeeds;
+* carrier sense + DIFS + slotted random backoff per contender;
+* ties in the backoff draw collide: every tied frame is lost and its
+  sender backs off with a doubled contention window (up to a retry cap);
+* per-frame random loss models RF noise;
+* frames serialize at the PHY rate plus fixed MAC overhead (preamble,
+  SIFS, ACK).
+
+Stations talk to the access point; the AP forwards into the wired side
+and transmits downlink frames through the very same contention process.
+This is intentionally a *different* congestion mechanism from the star
+Internet's drop-tail queues — the validation compares outcomes across
+independent models, like the paper compares simulator vs hardware.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.netsim.address import Address
+from repro.netsim.headers import Ipv4Header, Ipv6Header
+from repro.netsim.netdevice import NetDevice
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+
+SLOT_TIME = 9e-6
+DIFS = 34e-6
+#: preamble + SIFS + ACK per successful frame exchange (seconds)
+FRAME_OVERHEAD = 120e-6
+CW_MIN = 15
+CW_MAX = 1023
+MAX_RETRIES = 7
+
+IDLE = "idle"
+CONTENDING = "contending"
+TRANSMITTING = "transmitting"
+
+
+class WifiChannel:
+    """The shared medium plus the DCF arbitration logic."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy_rate_bps: float = 54e6,
+        loss_rate: float = 0.01,
+        rng: Optional[random.Random] = None,
+    ):
+        if phy_rate_bps <= 0:
+            raise ValueError("PHY rate must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.sim = sim
+        self.phy_rate_bps = phy_rate_bps
+        self.loss_rate = loss_rate
+        self.rng = rng or random.Random(0)
+        self.devices: List["WifiDevice"] = []
+        self.state = IDLE
+        self._contenders: List["WifiDevice"] = []
+        # Statistics.
+        self.frames_delivered = 0
+        self.frames_collided = 0
+        self.frames_lost_noise = 0
+        self.airtime_busy = 0.0
+
+    def attach(self, device: "WifiDevice") -> None:
+        self.devices.append(device)
+        device.channel = self
+
+    # ------------------------------------------------------------------
+    # DCF
+    # ------------------------------------------------------------------
+    def contend(self, device: "WifiDevice") -> None:
+        """A device with a queued frame asks for the medium."""
+        if device in self._contenders:
+            return
+        self._contenders.append(device)
+        if self.state == IDLE:
+            self._start_round()
+
+    def _start_round(self) -> None:
+        if not self._contenders:
+            self.state = IDLE
+            return
+        self.state = CONTENDING
+        draws: List[Tuple[int, WifiDevice]] = [
+            (self.rng.randrange(0, contender.contention_window + 1), contender)
+            for contender in self._contenders
+        ]
+        min_slots = min(slots for slots, _ in draws)
+        winners = [contender for slots, contender in draws if slots == min_slots]
+        wait = DIFS + min_slots * SLOT_TIME
+        self.sim.schedule(wait, self._begin_transmission, winners)
+
+    def _begin_transmission(self, winners: List["WifiDevice"]) -> None:
+        frames = []
+        for winner in winners:
+            frame = winner.dequeue_frame()
+            if frame is not None:
+                frames.append((winner, frame))
+            if winner in self._contenders:
+                self._contenders.remove(winner)
+        if not frames:
+            self._start_round()
+            return
+        self.state = TRANSMITTING
+        longest = max(frame.size for _winner, frame in frames)
+        airtime = longest * 8.0 / self.phy_rate_bps + FRAME_OVERHEAD
+        self.airtime_busy += airtime
+        self.sim.schedule(airtime, self._end_transmission, frames)
+
+    def _end_transmission(self, frames) -> None:
+        if len(frames) > 1:
+            # Simultaneous winners: collision; every frame is lost.
+            self.frames_collided += len(frames)
+            for device, frame in frames:
+                device.handle_failure(frame)
+        else:
+            device, frame = frames[0]
+            if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+                self.frames_lost_noise += 1
+                device.handle_failure(frame)
+            else:
+                self.frames_delivered += 1
+                device.handle_success()
+                target = device.resolve_target(frame)
+                if target is not None:
+                    self.sim.schedule_now(target.receive, frame)
+        self._start_round()
+
+
+class WifiDevice(NetDevice):
+    """A station or access-point radio on a :class:`WifiChannel`.
+
+    ``data_rate_bps`` is the device's *traffic-shaped* rate (the paper
+    limits Raspberry Pi data rates to 100–500 kbps to mimic IoT
+    bandwidth); actual frames serialize at the channel PHY rate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        data_rate_bps: float,
+        is_access_point: bool = False,
+        queue_frames: int = 100,
+        name: str = "wlan0",
+    ):
+        super().__init__(sim, name)
+        self.data_rate_bps = data_rate_bps
+        self.is_access_point = is_access_point
+        self.queue: Deque[Packet] = deque()
+        self.queue_limit = queue_frames
+        self.queue_drops = 0
+        self.contention_window = CW_MIN
+        self.retries = 0
+        self.frames_dropped_retry = 0
+        self.channel: Optional[WifiChannel] = None
+        #: AP side: IP address -> station device (association table)
+        self.associations: Dict[Address, "WifiDevice"] = {}
+        #: station side: the AP to send everything to
+        self.access_point: Optional["WifiDevice"] = None
+        self._retry_frame: Optional[Packet] = None
+
+    # ------------------------------------------------------------------
+    # NetDevice interface
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        if not self.up:
+            self.drops_down += 1
+            return False
+        if self.channel is None:
+            return False
+        if len(self.queue) >= self.queue_limit:
+            self.queue_drops += 1
+            return False
+        self.queue.append(packet)
+        self.channel.contend(self)
+        return True
+
+    # ------------------------------------------------------------------
+    # Channel callbacks
+    # ------------------------------------------------------------------
+    def dequeue_frame(self) -> Optional[Packet]:
+        if self._retry_frame is not None:
+            frame, self._retry_frame = self._retry_frame, None
+            return frame
+        if not self.up or not self.queue:
+            return None
+        return self.queue.popleft()
+
+    def handle_success(self) -> None:
+        self.contention_window = CW_MIN
+        self.retries = 0
+        self.tx_packets += 1
+        if self.queue and self.channel is not None:
+            self.channel.contend(self)
+
+    def handle_failure(self, frame: Packet) -> None:
+        self.retries += 1
+        if self.retries > MAX_RETRIES:
+            self.frames_dropped_retry += 1
+            self.retries = 0
+            self.contention_window = CW_MIN
+        else:
+            self.contention_window = min(self.contention_window * 2 + 1, CW_MAX)
+            self._retry_frame = frame
+        if (self._retry_frame is not None or self.queue) and self.channel is not None:
+            self.channel.contend(self)
+
+    def resolve_target(self, frame: Packet) -> Optional["WifiDevice"]:
+        """Where this frame lands: stations uplink to the AP; the AP looks
+        the destination station up in its association table."""
+        if not self.is_access_point:
+            return self.access_point
+        header = frame.headers[-1] if frame.headers else None
+        if isinstance(header, (Ipv4Header, Ipv6Header)):
+            target = self.associations.get(header.dst)
+            if target is not None:
+                return target
+            if isinstance(header, Ipv6Header) and header.dst.is_multicast:
+                # Broadcast-ish: AP replicates to every associated station
+                # (stations appear once per address family — dedupe).
+                seen = set()
+                for station in self.associations.values():
+                    if id(station) in seen:
+                        continue
+                    seen.add(id(station))
+                    self.sim.schedule_now(station.receive, frame.copy())
+                return None
+        return None
+
+    def set_down(self) -> None:
+        super().set_down()
+        self.queue.clear()
+        self._retry_frame = None

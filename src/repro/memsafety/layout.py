@@ -1,0 +1,162 @@
+"""Virtual address-space model with permissioned regions and W^X.
+
+The paper's attack model (§III-B): Devs enable some subset of W^X and
+ASLR, so the Attacker "cannot perform code injection or return-to-libc
+attacks" and must ROP instead.  The enforcement point for that statement
+is here: a hijacked return address is only honoured if it points into an
+*executable* mapping, and under W^X no mapping is ever both writable and
+executable — so return-into-stack shellcode faults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+PAGE_SIZE = 0x1000
+
+
+class SegmentationFault(Exception):
+    """The emulated process touched memory it must not (crash, not exploit)."""
+
+    def __init__(self, address: int, reason: str):
+        super().__init__(f"SIGSEGV at {address:#x}: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+class MemoryRegion:
+    """A contiguous mapping: [base, base+size) with rwx permissions."""
+
+    __slots__ = ("name", "base", "size", "readable", "writable", "executable")
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        readable: bool = True,
+        writable: bool = False,
+        executable: bool = False,
+    ):
+        if base < 0 or size <= 0:
+            raise ValueError("region base/size must be non-negative/positive")
+        if base % PAGE_SIZE or size % PAGE_SIZE:
+            raise ValueError(f"region {name!r} not page-aligned")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.readable = readable
+        self.writable = writable
+        self.executable = executable
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def perms(self) -> str:
+        return (
+            ("r" if self.readable else "-")
+            + ("w" if self.writable else "-")
+            + ("x" if self.executable else "-")
+        )
+
+    def __repr__(self) -> str:
+        return f"<Region {self.name} {self.base:#x}-{self.end:#x} {self.perms()}>"
+
+
+class AddressSpace:
+    """The mappings of one emulated process.
+
+    With ``wx_enforced`` (the W^X mitigation), mapping a region writable
+    *and* executable raises — and :meth:`standard_process_layout` maps the
+    stack non-executable.  Without it, the stack is executable the way a
+    pre-NX embedded build would be, and injected shellcode would run.
+    """
+
+    def __init__(self, wx_enforced: bool = True):
+        self.wx_enforced = wx_enforced
+        self.regions: List[MemoryRegion] = []
+
+    def map_region(self, region: MemoryRegion) -> MemoryRegion:
+        if self.wx_enforced and region.writable and region.executable:
+            raise SegmentationFault(
+                region.base, f"W^X violation mapping {region.name} rwx"
+            )
+        for existing in self.regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ValueError(f"{region!r} overlaps {existing!r}")
+        self.regions.append(region)
+        return region
+
+    def region_at(self, address: int) -> Optional[MemoryRegion]:
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def region_named(self, name: str) -> MemoryRegion:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"no region named {name!r}")
+
+    def check_execute(self, address: int) -> MemoryRegion:
+        """Instruction fetch at ``address``; faults on non-executable."""
+        region = self.region_at(address)
+        if region is None:
+            raise SegmentationFault(address, "unmapped")
+        if not region.executable:
+            raise SegmentationFault(
+                address, f"instruction fetch in non-executable region {region.name}"
+            )
+        return region
+
+    def check_write(self, address: int) -> MemoryRegion:
+        region = self.region_at(address)
+        if region is None:
+            raise SegmentationFault(address, "unmapped")
+        if not region.writable:
+            raise SegmentationFault(address, f"write to read-only region {region.name}")
+        return region
+
+    def maps(self) -> str:
+        """/proc/self/maps-style dump (debugging and DESIGN examples)."""
+        return "\n".join(
+            f"{region.base:016x}-{region.end:016x} {region.perms()} {region.name}"
+            for region in sorted(self.regions, key=lambda region: region.base)
+        )
+
+
+def standard_process_layout(
+    text_base: int,
+    text_size: int = 0x40000,
+    wx_enforced: bool = True,
+    stack_base: int = 0x7FFF_F000_0000,
+    stack_size: int = 0x100000,
+) -> AddressSpace:
+    """Map the classic text/rodata/data/heap/stack layout.
+
+    Without W^X the stack is mapped executable (no-NX legacy build), which
+    is exactly what makes naive shellcode injection viable on such
+    devices.
+    """
+    space = AddressSpace(wx_enforced=wx_enforced)
+    space.map_region(MemoryRegion("text", text_base, text_size, executable=True))
+    space.map_region(MemoryRegion("rodata", text_base + text_size, 0x10000))
+    space.map_region(
+        MemoryRegion("data", text_base + text_size + 0x10000, 0x20000, writable=True)
+    )
+    space.map_region(MemoryRegion("heap", 0x5555_0000_0000, 0x200000, writable=True))
+    space.map_region(
+        MemoryRegion(
+            "stack",
+            stack_base,
+            stack_size,
+            writable=True,
+            executable=not wx_enforced,
+        )
+    )
+    return space

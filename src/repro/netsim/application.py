@@ -1,0 +1,120 @@
+"""NS-3-style applications: start/stop lifecycle bound to a node."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.node import Node
+
+
+class Application:
+    """Base class mirroring NS-3's ``Application``.
+
+    Subclasses override :meth:`_do_start` / :meth:`_do_stop`; scheduling the
+    window is the caller's job via :meth:`schedule_start` /
+    :meth:`schedule_stop`.
+    """
+
+    def __init__(self, node: Node, name: str = "app"):
+        self.node = node
+        self.sim = node.sim
+        self.name = name
+        self.running = False
+        node.add_application(self)
+
+    def schedule_start(self, at: float) -> None:
+        self.sim.schedule_at(at, self.start)
+
+    def schedule_stop(self, at: float) -> None:
+        self.sim.schedule_at(at, self.stop)
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._do_start()
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self._do_stop()
+
+    def _do_start(self) -> None:
+        raise NotImplementedError
+
+    def _do_stop(self) -> None:
+        """Default stop is a no-op beyond the running flag."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "running" if self.running else "stopped"
+        return f"<{type(self).__name__} {self.name!r} on {self.node.name} {state}>"
+
+
+class OnOffApplication(Application):
+    """Benign constant-bit-rate UDP traffic with on/off periods.
+
+    This is the "normal traffic" generator the paper's §V-A1 use case
+    (training ML DDoS detectors on mixed benign/attack traffic) needs.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        destination,
+        dst_port: int,
+        rate_bps: float,
+        packet_size: int = 256,
+        on_seconds: float = 5.0,
+        off_seconds: float = 5.0,
+        name: str = "onoff",
+        src_port: Optional[int] = None,
+    ):
+        super().__init__(node, name)
+        if rate_bps <= 0 or packet_size <= 0:
+            raise ValueError("rate and packet size must be positive")
+        self.destination = destination
+        self.dst_port = dst_port
+        self.rate_bps = rate_bps
+        self.packet_size = packet_size
+        self.on_seconds = on_seconds
+        self.off_seconds = off_seconds
+        self.src_port = src_port if src_port is not None else node.udp.allocate_ephemeral_port()
+        self._interval = packet_size * 8.0 / rate_bps
+        self._on = False
+        self._pending_event = None
+        self.packets_sent = 0
+
+    def _do_start(self) -> None:
+        self._enter_on_period()
+
+    def _do_stop(self) -> None:
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+
+    def _enter_on_period(self) -> None:
+        if not self.running:
+            return
+        self._on = True
+        self._pending_event = self.sim.schedule(self.on_seconds, self._enter_off_period)
+        self._send_next()
+
+    def _enter_off_period(self) -> None:
+        if not self.running:
+            return
+        self._on = False
+        self._pending_event = self.sim.schedule(self.off_seconds, self._enter_on_period)
+
+    def _send_next(self) -> None:
+        if not self.running or not self._on:
+            return
+        self.node.udp.send_datagram(
+            None,
+            self.destination,
+            self.dst_port,
+            src_port=self.src_port,
+            payload_size=self.packet_size,
+        )
+        self.packets_sent += 1
+        self.sim.schedule(self._interval, self._send_next)

@@ -1,0 +1,83 @@
+"""Channels: the propagation media between net devices.
+
+The experiment series models each component's Internet path ("home routers
+and ISP switches ... fiber optics and WiFi") as *one* link with a given
+latency and bandwidth (§III-D of the paper), so the workhorse here is the
+full-duplex :class:`PointToPointChannel`.  The hardware-validation testbed
+adds a shared WiFi medium in :mod:`repro.hardware.wifi` on top of the same
+interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.netsim.netdevice import NetDevice
+
+
+class Channel:
+    """Base channel: knows its simulator, delay, and attached devices."""
+
+    def __init__(self, sim: Simulator, delay: float = 0.0):
+        if delay < 0:
+            raise ValueError("channel delay must be non-negative")
+        self.sim = sim
+        self.delay = delay
+        self.devices: List["NetDevice"] = []
+
+    def attach(self, device: "NetDevice") -> None:
+        self.devices.append(device)
+        device.channel = self
+
+    def transmit(self, sender: "NetDevice", packet: Packet) -> None:
+        raise NotImplementedError
+
+
+class PointToPointChannel(Channel):
+    """A full-duplex link between exactly two devices.
+
+    Serialization delay lives in the sending device (it depends on the
+    device's data rate); the channel only adds propagation delay.  An
+    optional ``loss_rate`` models random medium loss (used by the hardware
+    testbed's noisy wireless environment; the DDoSim Internet links keep
+    the default of zero, losses there come from queue overflow).
+    """
+
+    def __init__(self, sim: Simulator, delay: float = 0.0, loss_rate: float = 0.0,
+                 rng=None):
+        super().__init__(sim, delay)
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self.packets_carried = 0
+        self.packets_lost = 0
+
+    def attach(self, device: "NetDevice") -> None:
+        if len(self.devices) >= 2:
+            raise ValueError("point-to-point channel already has two devices")
+        super().attach(device)
+
+    def peer_of(self, device: "NetDevice") -> Optional["NetDevice"]:
+        """The device at the other end of the link, if both are attached."""
+        if len(self.devices) != 2:
+            return None
+        return self.devices[1] if self.devices[0] is device else self.devices[0]
+
+    def transmit(self, sender: "NetDevice", packet: Packet) -> None:
+        peer = self.peer_of(sender)
+        if peer is None:
+            raise RuntimeError("point-to-point channel is not fully wired")
+        if self.loss_rate > 0.0 and self._rng is not None:
+            if self._rng.random() < self.loss_rate:
+                self.packets_lost += 1
+                return
+        self.packets_carried += 1
+        if self.delay > 0.0:
+            self.sim.schedule(self.delay, peer.receive, packet)
+        else:
+            self.sim.schedule_now(peer.receive, packet)

@@ -1,0 +1,124 @@
+"""Net devices: the NICs that connect nodes to channels.
+
+A :class:`PointToPointDevice` serializes packets at its configured data
+rate through a drop-tail queue — the mechanism behind both the paper's
+100–500 kbps IoT access links and the TServer bottleneck whose saturation
+produces Figure 2's sublinear growth.
+
+Devices can be taken ``down``/``up`` at runtime; churn (§IV-A of the
+paper) is implemented as exactly that: a departed device's link drops all
+traffic until the device rejoins.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.netsim.address import MacAddress
+from repro.netsim.channel import Channel
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.node import Node
+
+
+class NetDevice:
+    """Base net device; concrete devices implement ``send``."""
+
+    def __init__(self, sim: Simulator, name: str = "dev"):
+        self.sim = sim
+        self.name = name
+        self.node: Optional["Node"] = None
+        self.channel: Optional[Channel] = None
+        self.mac = MacAddress.allocate()
+        self.up = True
+        # Counters (FlowMonitor and the resource model read these).
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.drops_down = 0  # packets lost because the link was down
+
+    def send(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def receive(self, packet: Packet) -> None:
+        """Deliver an arriving packet up to the node's IP layer."""
+        if not self.up:
+            self.drops_down += 1
+            return
+        self.rx_packets += 1
+        self.rx_bytes += packet.size
+        if self.node is not None:
+            self.node.ip.receive(packet, self)
+
+    def set_down(self) -> None:
+        """Take the device offline (churn departure)."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """Bring the device back online (churn rejoin)."""
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        owner = self.node.name if self.node is not None else "?"
+        return f"<{type(self).__name__} {self.name} on {owner} {'up' if self.up else 'down'}>"
+
+
+class PointToPointDevice(NetDevice):
+    """A NIC on one end of a point-to-point link.
+
+    ``data_rate_bps`` bounds throughput via serialization delay
+    (``size * 8 / rate`` per packet); excess arrivals wait in ``queue``
+    and overflow is dropped — NS-3's PointToPointNetDevice behaviour.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        data_rate_bps: float,
+        queue: Optional[DropTailQueue] = None,
+        name: str = "p2p",
+    ):
+        super().__init__(sim, name)
+        if data_rate_bps <= 0:
+            raise ValueError("data rate must be positive")
+        self.data_rate_bps = data_rate_bps
+        self.queue = queue if queue is not None else DropTailQueue()
+        self._transmitting = False
+
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission; False when dropped."""
+        if not self.up:
+            self.drops_down += 1
+            return False
+        if not self.queue.enqueue(packet):
+            return False
+        if not self._transmitting:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        tx_delay = packet.size * 8.0 / self.data_rate_bps
+        self.sim.schedule(tx_delay, self._transmit_complete, packet)
+
+    def _transmit_complete(self, packet: Packet) -> None:
+        if self.up and self.channel is not None:
+            self.tx_packets += 1
+            self.tx_bytes += packet.size
+            self.channel.transmit(self, packet)
+        else:
+            self.drops_down += 1
+        self._transmit_next()
+
+    def set_down(self) -> None:
+        """Churn departure: link dies, queued packets are lost."""
+        super().set_down()
+        self.queue.clear()

@@ -1,0 +1,57 @@
+"""Simulation nodes: hosts and routers.
+
+A :class:`Node` owns net devices and a dual-stack IP layer with UDP and
+TCP transports.  DDoSim's three component kinds all sit on nodes:
+
+* Attacker / Devs — "ghost nodes" whose traffic originates from emulated
+  containers bridged in via :mod:`repro.container.veth`;
+* TServer — a plain NS-3-style node running the customized
+  :class:`repro.netsim.sink.PacketSink` application.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netsim.address import Address
+from repro.netsim.ip import IpStack
+from repro.netsim.netdevice import NetDevice
+from repro.netsim.simulator import Simulator
+
+
+class Node:
+    """A host or router in the simulated network."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.devices: List[NetDevice] = []
+        self.ip = IpStack(self)
+        self.applications: list = []
+
+    def add_device(self, device: NetDevice) -> NetDevice:
+        """Attach a net device to this node."""
+        device.node = self
+        self.devices.append(device)
+        return device
+
+    def add_application(self, application) -> None:
+        self.applications.append(application)
+
+    # Convenience accessors ------------------------------------------------
+    @property
+    def udp(self):
+        """The node's UDP transport (created on first use)."""
+        return self.ip.udp
+
+    @property
+    def tcp(self):
+        """The node's TCP transport (created on first use)."""
+        return self.ip.tcp
+
+    def primary_address(self, want_ipv6: bool = True) -> Optional[Address]:
+        """The node's first assigned address of the requested family."""
+        return self.ip.primary_address(want_ipv6)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Node {self.name} devs={len(self.devices)}>"

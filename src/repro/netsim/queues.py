@@ -1,0 +1,73 @@
+"""Transmit queues for net devices.
+
+The paper's Figure 2 attributes the sublinear growth of received data rate
+to "congestion and collisions stemming from elevated network traffic";
+in this simulator that behaviour emerges from finite-rate links draining
+drop-tail queues — same mechanism NS-3's ``DropTailQueue`` provides.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.netsim.packet import Packet
+
+
+class DropTailQueue:
+    """A FIFO packet queue with a fixed capacity; overflow drops the tail.
+
+    Capacity may be expressed in packets (NS-3's default mode) or bytes.
+    """
+
+    def __init__(self, max_packets: int = 100, max_bytes: Optional[int] = None):
+        if max_packets <= 0:
+            raise ValueError("queue capacity must be positive")
+        self._queue: Deque[Packet] = deque()
+        self.max_packets = max_packets
+        self.max_bytes = max_bytes
+        self.bytes_queued = 0
+        self.enqueued = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Add ``packet``; returns False (and counts a drop) on overflow."""
+        if len(self._queue) >= self.max_packets:
+            self.dropped += 1
+            return False
+        if self.max_bytes is not None and self.bytes_queued + packet.size > self.max_bytes:
+            self.dropped += 1
+            return False
+        self._queue.append(packet)
+        self.bytes_queued += packet.size
+        self.enqueued += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.bytes_queued -= packet.size
+        return packet
+
+    def clear(self) -> int:
+        """Drop everything queued (link went down); returns packets lost."""
+        lost = len(self._queue)
+        self.dropped += lost
+        self._queue.clear()
+        self.bytes_queued = 0
+        return lost
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<DropTailQueue {len(self._queue)}/{self.max_packets} pkts "
+            f"{self.bytes_queued}B dropped={self.dropped}>"
+        )

@@ -1,0 +1,158 @@
+"""Discrete-event simulation core: virtual clock and event scheduler.
+
+This is the heart of the NS-3 substitute.  NS-3 runs a single-threaded
+event loop over a priority queue of (time, uid) ordered events; we do the
+same with :mod:`heapq`.  Everything else in ``repro`` — links, transports,
+containers, binaries, the botnet — schedules callbacks here.
+
+The scheduler is deliberately minimal and fast: DDoS-flood experiments push
+millions of events through it, so the hot path avoids allocation beyond the
+heap entries themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Mirrors NS-3's ``EventId``: holding on to the handle lets callers
+    ``cancel()`` the event before it fires (used heavily by retransmission
+    timers and churn).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.6f} #{self.seq} {state}>"
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator with a virtual clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second"))
+        sim.run(until=10.0)
+
+    Events scheduled for the same instant fire in FIFO scheduling order
+    (ties broken by a monotonically increasing sequence number), matching
+    NS-3 semantics and making runs fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: List[ScheduledEvent] = []
+        self._running = False
+        self._stopped = False
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        self._seq += 1
+        event = ScheduledEvent(time, self._seq, callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_now(self, callback: Callable, *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at the current instant (after the
+        currently executing event completes)."""
+        return self.schedule_at(self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        :meth:`stop` is called.  Returns the final virtual time.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drains earlier, mirroring NS-3's
+        ``Simulator::Stop(Seconds(t)); Simulator::Run()`` idiom.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        try:
+            while heap and not self._stopped:
+                event = heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self.events_executed += 1
+                event.callback(*event.args)
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def peek_next_time(self) -> Optional[float]:
+        """Virtual time of the next pending (non-cancelled) event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled tombstones)."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,97 @@
+"""The TServer packet sink.
+
+The paper implements TServer as a customized NS-3 node whose sink
+application "receives data packets from the compromised Devs and then logs
+the overall size of the received data packets in each simulation run"
+(§III-C) — i.e. it records attack magnitude.  :class:`PacketSink` does the
+same: it captures every UDP datagram arriving at the node (promiscuous
+across ports, like a sink behind Wireshark) and bins received bytes per
+second, from which :mod:`repro.core.metrics` computes Eq. 2's average
+received data rate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+from repro.netsim.application import Application
+from repro.netsim.node import Node
+
+
+class PacketSink(Application):
+    """Receives and accounts all UDP traffic reaching its node."""
+
+    def __init__(self, node: Node, name: str = "tserver-sink", bin_width: float = 1.0):
+        super().__init__(node, name)
+        if bin_width <= 0:
+            raise ValueError("bin width must be positive")
+        self.bin_width = bin_width
+        self.total_packets = 0
+        self.total_bytes = 0
+        #: received payload+header bytes per time bin (bin index -> bytes)
+        self.bytes_per_bin: Dict[int, int] = defaultdict(int)
+        #: per-source accounting: (address, port) -> (packets, bytes)
+        self.per_source: Dict[Tuple[object, int], list] = {}
+        self.first_packet_time: Optional[float] = None
+        self.last_packet_time: Optional[float] = None
+
+    def _do_start(self) -> None:
+        self.node.udp.set_default_handler(self._on_datagram)
+
+    def _do_stop(self) -> None:
+        self.node.udp.set_default_handler(None)
+
+    def _on_datagram(self, packet, udp_header, ip_header) -> None:
+        # Wire size as seen by the node: payload + UDP + IP headers
+        # (headers were popped on the way up; recompute their cost).
+        size = packet.payload_size + udp_header.wire_size + type(ip_header).wire_size
+        now = self.sim.now
+        self.total_packets += 1
+        self.total_bytes += size
+        self.bytes_per_bin[int(now / self.bin_width)] += size
+        if self.first_packet_time is None:
+            self.first_packet_time = now
+        self.last_packet_time = now
+        key = (ip_header.src, udp_header.src_port)
+        entry = self.per_source.get(key)
+        if entry is None:
+            self.per_source[key] = [1, size]
+        else:
+            entry[0] += 1
+            entry[1] += size
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def bytes_received_between(self, start: float, end: float) -> int:
+        """Total bytes in bins overlapping [start, end)."""
+        if end <= start:
+            return 0
+        first = int(start / self.bin_width)
+        last = int(end / self.bin_width)
+        return sum(
+            self.bytes_per_bin.get(index, 0) for index in range(first, last)
+        )
+
+    def rate_series_kbps(self, start: float, end: float):
+        """Per-bin received rate (kbps) over [start, end) as a list."""
+        first = int(start / self.bin_width)
+        last = int(end / self.bin_width)
+        factor = 8.0 / 1000.0 / self.bin_width
+        return [
+            self.bytes_per_bin.get(index, 0) * factor for index in range(first, last)
+        ]
+
+    def distinct_sources(self) -> int:
+        """Number of distinct (address, port) senders seen."""
+        return len(self.per_source)
+
+    def reset(self) -> None:
+        """Clear all counters (used between experiment phases)."""
+        self.total_packets = 0
+        self.total_bytes = 0
+        self.bytes_per_bin.clear()
+        self.per_source.clear()
+        self.first_packet_time = None
+        self.last_packet_time = None

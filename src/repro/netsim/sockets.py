@@ -1,0 +1,215 @@
+"""BSD-ish socket facade for coroutine processes.
+
+Container payloads (the shell, ``curl``, Mirai, the C&C server) interact
+with the network through these sockets rather than raw transports, which
+keeps payload code looking like ordinary sockets programming::
+
+    sock = UdpSocket(node)
+    sock.sendto(query, dns_server, 53)
+    payload, (addr, port) = yield sock.recvfrom()
+
+TCP sockets add generator helpers (``read_line``, ``read_exactly``,
+``read_all``) intended for ``yield from`` inside process coroutines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.netsim.address import Address, Ipv6Address
+from repro.netsim.node import Node
+from repro.netsim.process import SimFuture
+from repro.netsim.tcp import TcpConnection, TcpListener
+
+
+class SocketClosed(OSError):
+    """Operation on a closed socket."""
+
+
+class UdpSocket:
+    """A datagram socket bound to a node's UDP transport."""
+
+    def __init__(self, node: Node, port: int = 0):
+        self.node = node
+        self.sim = node.sim
+        self.port = node.udp.bind(port, self._on_datagram)
+        self._inbox: Deque[Tuple[Optional[bytes], Tuple[Address, int]]] = deque()
+        self._waiters: Deque[SimFuture] = deque()
+        self.closed = False
+
+    def _on_datagram(self, packet, udp_header, ip_header) -> None:
+        item = (packet.payload, (ip_header.src, udp_header.src_port))
+        if self._waiters:
+            self._waiters.popleft().succeed(item)
+        else:
+            self._inbox.append(item)
+
+    def sendto(
+        self,
+        payload: Optional[bytes],
+        address: Address,
+        port: int,
+        payload_size: Optional[int] = None,
+    ) -> bool:
+        """Send a datagram; ``payload_size`` supports virtual-size packets."""
+        if self.closed:
+            raise SocketClosed("sendto on closed socket")
+        return self.node.udp.send_datagram(
+            payload, address, port, src_port=self.port, payload_size=payload_size
+        )
+
+    def recvfrom(self) -> SimFuture:
+        """Future resolving with ``(payload, (source_address, source_port))``."""
+        if self.closed:
+            raise SocketClosed("recvfrom on closed socket")
+        future = SimFuture(self.sim)
+        if self._inbox:
+            future.succeed(self._inbox.popleft())
+        else:
+            self._waiters.append(future)
+        return future
+
+    def cancel_waiter(self, future: SimFuture) -> None:
+        """Withdraw a pending :meth:`recvfrom` future (timeout cleanup) so
+        a later datagram is not silently swallowed by a stale waiter."""
+        try:
+            self._waiters.remove(future)
+        except ValueError:
+            pass
+
+    def join_multicast(self, group: Ipv6Address) -> None:
+        self.node.ip.join_multicast(group)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.node.udp.unbind(self.port)
+        while self._waiters:
+            self._waiters.popleft().fail(SocketClosed("socket closed"))
+
+
+class TcpSocket:
+    """A stream socket wrapping a :class:`TcpConnection`."""
+
+    def __init__(self, node: Node, connection: TcpConnection):
+        self.node = node
+        self.sim = node.sim
+        self.connection = connection
+        self._buffer = bytearray()
+        self._eof = False
+
+    # ------------------------------------------------------------------
+    # Establishment
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect(cls, node: Node, address: Address, port: int) -> "TcpSocket":
+        """Begin connecting; wait on :meth:`wait_connected` before I/O."""
+        connection = node.tcp.connect(address, port)
+        return cls(node, connection)
+
+    def wait_connected(self) -> SimFuture:
+        """Future resolving when the three-way handshake completes."""
+        if self.connection.established:
+            future = SimFuture(self.sim)
+            future.succeed(self)
+            return future
+        assert self.connection.connect_future is not None
+        return self.connection.connect_future
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    @property
+    def peer(self) -> Tuple[Address, int]:
+        return (self.connection.remote_addr, self.connection.remote_port)
+
+    def send(self, data: bytes) -> None:
+        self.connection.send(data)
+
+    def send_line(self, line: str) -> None:
+        self.connection.send(line.encode() + b"\n")
+
+    def recv(self) -> SimFuture:
+        """Future resolving with the next chunk (``b""`` at EOF)."""
+        if self._buffer:
+            future = SimFuture(self.sim)
+            chunk = bytes(self._buffer)
+            self._buffer.clear()
+            future.succeed(chunk)
+            return future
+        return self.connection.recv()
+
+    # Generator helpers: use with ``yield from`` inside a SimProcess.
+    def read_line(self):
+        """Read one ``\\n``-terminated line (newline stripped).
+
+        Returns ``None`` at EOF with no buffered data.
+        """
+        while b"\n" not in self._buffer:
+            chunk = yield self.connection.recv()
+            if chunk == b"":
+                self._eof = True
+                if self._buffer:
+                    line = bytes(self._buffer)
+                    self._buffer.clear()
+                    return line
+                return None
+            self._buffer.extend(chunk)
+        line, _, rest = bytes(self._buffer).partition(b"\n")
+        self._buffer[:] = rest
+        return line.rstrip(b"\r")
+
+    def read_exactly(self, count: int):
+        """Read exactly ``count`` bytes (raises EOFError on early close)."""
+        while len(self._buffer) < count:
+            chunk = yield self.connection.recv()
+            if chunk == b"":
+                raise EOFError(f"EOF after {len(self._buffer)}/{count} bytes")
+            self._buffer.extend(chunk)
+        data = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return data
+
+    def read_all(self):
+        """Read until the peer closes; returns everything."""
+        while True:
+            chunk = yield self.connection.recv()
+            if chunk == b"":
+                data = bytes(self._buffer)
+                self._buffer.clear()
+                return data
+            self._buffer.extend(chunk)
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def abort(self) -> None:
+        self.connection.abort()
+
+
+class TcpServerSocket:
+    """A listening socket yielding :class:`TcpSocket` per accepted peer."""
+
+    def __init__(self, node: Node, port: int):
+        self.node = node
+        self.sim = node.sim
+        self.port = port
+        self.listener: TcpListener = node.tcp.listen(port)
+
+    def accept(self) -> SimFuture:
+        """Future resolving with a connected :class:`TcpSocket`."""
+        future = SimFuture(self.sim)
+
+        def _wrap(inner: SimFuture) -> None:
+            if inner.error is not None:
+                future.fail(inner.error)
+            else:
+                future.succeed(TcpSocket(self.node, inner.value))
+
+        self.listener.accept().add_callback(_wrap)
+        return future
+
+    def close(self) -> None:
+        self.listener.close()

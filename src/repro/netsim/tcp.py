@@ -1,0 +1,512 @@
+"""A simplified but real TCP: handshake, go-back-N reliability, teardown.
+
+The botnet control plane rides on this transport: Mirai bots dial the C&C
+server over TCP, the operator's telnet console is a TCP session, and the
+Apache-analogue file server speaks HTTP/1.0 over TCP.  Those flows need a
+reliable, in-order byte stream that survives congestion loss on the
+simulated Internet — which go-back-N with cumulative ACKs and an RTO
+provides — without needing full congestion control.
+
+Simplifications relative to RFC 793 (documented, deliberate):
+
+* fixed-size send window (segment count), no slow start / cwnd;
+* one retransmission timer covering the oldest unacked segment, go-back-N
+  resend on expiry, exponential backoff;
+* no simultaneous-open, no TIME_WAIT (close removes demux state once both
+  directions are done);
+* sequence numbers start at 0 per-connection and do not wrap (connections
+  in these experiments move well under 2**32 bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+from collections import deque
+
+from repro.netsim.address import Address
+from repro.netsim.headers import (
+    PROTO_TCP,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_RST,
+    TCP_SYN,
+    TcpHeader,
+)
+from repro.netsim.packet import Packet
+from repro.netsim.process import SimFuture
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.ip import IpStack
+
+MSS = 1200
+SEND_WINDOW_SEGMENTS = 8
+INITIAL_RTO = 1.0
+MAX_RTO = 16.0
+MAX_RETRIES = 8
+
+# Connection states.
+CLOSED = "CLOSED"
+LISTEN = "LISTEN"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT = "FIN_WAIT"
+CLOSE_WAIT = "CLOSE_WAIT"
+
+
+class ConnectionRefused(ConnectionError):
+    """Peer answered the SYN with RST (no listener on that port)."""
+
+
+class ConnectionReset(ConnectionError):
+    """Connection was reset mid-stream (RST or retry exhaustion)."""
+
+
+class TcpListener:
+    """A passive socket: queues established connections for ``accept``."""
+
+    def __init__(self, tcp: "Tcp", port: int):
+        self.tcp = tcp
+        self.port = port
+        self.backlog: Deque["TcpConnection"] = deque()
+        self._accept_waiters: Deque[SimFuture] = deque()
+        self.closed = False
+
+    def accept(self) -> SimFuture:
+        """Future resolving with the next established :class:`TcpConnection`."""
+        future = SimFuture(self.tcp.ip.sim)
+        if self.backlog:
+            future.succeed(self.backlog.popleft())
+        elif self.closed:
+            future.fail(ConnectionReset("listener closed"))
+        else:
+            self._accept_waiters.append(future)
+        return future
+
+    def _connection_ready(self, connection: "TcpConnection") -> None:
+        if self._accept_waiters:
+            self._accept_waiters.popleft().succeed(connection)
+        else:
+            self.backlog.append(connection)
+
+    def close(self) -> None:
+        self.closed = True
+        self.tcp.listeners.pop(self.port, None)
+        while self._accept_waiters:
+            self._accept_waiters.popleft().fail(ConnectionReset("listener closed"))
+
+
+class TcpConnection:
+    """One TCP connection endpoint."""
+
+    def __init__(
+        self,
+        tcp: "Tcp",
+        local_addr: Address,
+        local_port: int,
+        remote_addr: Address,
+        remote_port: int,
+    ):
+        self.tcp = tcp
+        self.sim = tcp.ip.sim
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.state = CLOSED
+        # Send side.
+        self._pending = bytearray()
+        self._inflight: Deque[Tuple[int, bytes]] = deque()
+        self.snd_nxt = 0
+        self.snd_una = 0
+        self._fin_queued = False
+        self._fin_sent = False
+        self._fin_acked = False
+        # Receive side.
+        self.rcv_nxt = 0
+        self._out_of_order: Dict[int, bytes] = {}
+        self._recv_buffer = bytearray()
+        self._recv_waiters: Deque[SimFuture] = deque()
+        self.remote_closed = False
+        # Timers / futures.
+        self._rto = INITIAL_RTO
+        self._retries = 0
+        self._timer = None
+        self.connect_future: Optional[SimFuture] = None
+        # Stats.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.retransmissions = 0
+
+    # ------------------------------------------------------------------
+    # Public API (used by the sockets facade)
+    # ------------------------------------------------------------------
+    @property
+    def established(self) -> bool:
+        return self.state == ESTABLISHED
+
+    @property
+    def closed(self) -> bool:
+        return self.state == CLOSED
+
+    def send(self, data: bytes) -> None:
+        """Queue ``data`` for reliable in-order delivery to the peer."""
+        if self.state not in (ESTABLISHED, CLOSE_WAIT):
+            raise ConnectionReset(f"send on {self.state} connection")
+        if self._fin_queued:
+            raise ConnectionReset("send after close")
+        self._pending.extend(data)
+        self._pump()
+
+    def recv(self) -> SimFuture:
+        """Future resolving with the next chunk of in-order bytes.
+
+        Resolves with ``b""`` exactly once the peer has closed and the
+        buffer is drained (EOF semantics).
+        """
+        future = SimFuture(self.sim)
+        if self._recv_buffer:
+            chunk = bytes(self._recv_buffer)
+            self._recv_buffer.clear()
+            future.succeed(chunk)
+        elif self.remote_closed or self.state == CLOSED:
+            future.succeed(b"")
+        else:
+            self._recv_waiters.append(future)
+        return future
+
+    def close(self) -> None:
+        """Half-close our direction after all pending data is delivered."""
+        if self.state in (CLOSED,) or self._fin_queued:
+            return
+        self._fin_queued = True
+        self._pump()
+
+    def abort(self, reason: str = "reset") -> None:
+        """Hard reset: notify the peer with RST and tear down."""
+        if self.state != CLOSED:
+            self._emit_segment(TCP_RST, seq=self.snd_nxt)
+        self._teardown(ConnectionReset(reason))
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def start_connect(self) -> SimFuture:
+        self.connect_future = SimFuture(self.sim)
+        self.state = SYN_SENT
+        self._emit_segment(TCP_SYN, seq=self.snd_nxt)
+        self.snd_nxt += 1  # SYN consumes one sequence number
+        self._arm_timer()
+        return self.connect_future
+
+    def _accept_syn(self, header: TcpHeader) -> None:
+        self.state = SYN_RCVD
+        self.rcv_nxt = header.seq + 1
+        self._emit_segment(TCP_SYN | TCP_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+        self.snd_nxt += 1
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    # Segment processing
+    # ------------------------------------------------------------------
+    def handle_segment(self, packet: Packet, header: TcpHeader) -> None:
+        flags = header.flags
+        if flags & TCP_RST:
+            self._handle_rst()
+            return
+        if self.state == SYN_SENT:
+            if flags & TCP_SYN and flags & TCP_ACK and header.ack == self.snd_nxt:
+                self.rcv_nxt = header.seq + 1
+                self.snd_una = header.ack
+                self._cancel_timer()
+                self.state = ESTABLISHED
+                self._emit_segment(TCP_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+                if self.connect_future is not None and not self.connect_future.done:
+                    self.connect_future.succeed(self)
+                self._pump()
+            return
+        if self.state == SYN_RCVD:
+            if flags & TCP_SYN and not (flags & TCP_ACK):
+                # Retransmitted SYN: re-send our SYN|ACK.
+                self._emit_segment(TCP_SYN | TCP_ACK, seq=self.snd_nxt - 1, ack=self.rcv_nxt)
+                return
+            if flags & TCP_ACK and header.ack == self.snd_nxt:
+                self.snd_una = header.ack
+                self._cancel_timer()
+                self.state = ESTABLISHED
+                listener = self.tcp.listeners.get(self.local_port)
+                if listener is not None:
+                    listener._connection_ready(self)
+            # fall through: the ACK may carry data
+        if flags & TCP_ACK:
+            self._process_ack(header.ack)
+        payload = packet.payload or b""
+        if payload:
+            self._process_data(header.seq, payload)
+        if flags & TCP_FIN:
+            self._process_fin(header.seq + len(payload))
+
+    def _handle_rst(self) -> None:
+        error: ConnectionError = ConnectionReset("connection reset by peer")
+        if self.state == SYN_SENT:
+            error = ConnectionRefused(
+                f"connection to {self.remote_addr}:{self.remote_port} refused"
+            )
+        self._teardown(error)
+
+    def _process_ack(self, ack: int) -> None:
+        if ack <= self.snd_una:
+            return
+        self.snd_una = ack
+        while self._inflight and self._inflight[0][0] + len(self._inflight[0][1]) <= ack:
+            self._inflight.popleft()
+        if self._fin_sent and ack >= self.snd_nxt:
+            self._fin_acked = True
+        self._retries = 0
+        self._rto = INITIAL_RTO
+        self._cancel_timer()
+        if self._inflight or (self._fin_sent and not self._fin_acked):
+            self._arm_timer()
+        self._pump()
+        self._maybe_finish_close()
+
+    def _process_data(self, seq: int, payload: bytes) -> None:
+        if seq + len(payload) <= self.rcv_nxt:
+            # Duplicate; re-ACK so the sender advances.
+            self._emit_segment(TCP_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+            return
+        if seq > self.rcv_nxt:
+            self._out_of_order[seq] = payload
+        else:
+            offset = self.rcv_nxt - seq
+            self._append_received(payload[offset:])
+            # Drain any now-contiguous out-of-order segments.
+            while self.rcv_nxt in self._out_of_order:
+                chunk = self._out_of_order.pop(self.rcv_nxt)
+                self._append_received(chunk)
+        self._emit_segment(TCP_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+
+    def _append_received(self, chunk: bytes) -> None:
+        self.rcv_nxt += len(chunk)
+        self.bytes_received += len(chunk)
+        self._recv_buffer.extend(chunk)
+        self._wake_receivers()
+
+    def _wake_receivers(self) -> None:
+        while self._recv_waiters and self._recv_buffer:
+            chunk = bytes(self._recv_buffer)
+            self._recv_buffer.clear()
+            self._recv_waiters.popleft().succeed(chunk)
+        if self.remote_closed:
+            while self._recv_waiters:
+                self._recv_waiters.popleft().succeed(b"")
+
+    def _process_fin(self, fin_seq: int) -> None:
+        if self.remote_closed:
+            self._emit_segment(TCP_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+            return
+        if fin_seq != self.rcv_nxt:
+            return  # FIN beyond a hole; wait for retransmission
+        self.rcv_nxt += 1
+        self.remote_closed = True
+        if self.state == ESTABLISHED:
+            self.state = CLOSE_WAIT
+        self._emit_segment(TCP_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+        self._wake_receivers()
+        self._maybe_finish_close()
+
+    # ------------------------------------------------------------------
+    # Send machinery
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self.state not in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT):
+            return
+        while self._pending and len(self._inflight) < SEND_WINDOW_SEGMENTS:
+            chunk = bytes(self._pending[:MSS])
+            del self._pending[: len(chunk)]
+            self._inflight.append((self.snd_nxt, chunk))
+            self._emit_segment(
+                TCP_ACK, seq=self.snd_nxt, ack=self.rcv_nxt, payload=chunk
+            )
+            self.snd_nxt += len(chunk)
+            self.bytes_sent += len(chunk)
+        if self._fin_queued and not self._fin_sent and not self._pending:
+            self._emit_segment(TCP_FIN | TCP_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+            self.snd_nxt += 1  # FIN consumes a sequence number
+            self._fin_sent = True
+            if self.state == ESTABLISHED:
+                self.state = FIN_WAIT
+        if self._inflight or (self._fin_sent and not self._fin_acked):
+            if self._timer is None:
+                self._arm_timer()
+
+    def _emit_segment(
+        self,
+        flags: int,
+        seq: int,
+        ack: int = 0,
+        payload: bytes = b"",
+    ) -> None:
+        packet = Packet(payload or None, created_at=self.sim.now)
+        packet.add_header(
+            TcpHeader(self.local_port, self.remote_port, seq=seq, ack=ack, flags=flags)
+        )
+        self.tcp.ip.send(packet, self.remote_addr, PROTO_TCP, self.local_addr)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        self._cancel_timer()
+        self._timer = self.sim.schedule(self._rto, self._on_timeout)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        self._retries += 1
+        if self._retries > MAX_RETRIES:
+            self._teardown(ConnectionReset("retransmission retries exhausted"))
+            return
+        self._rto = min(self._rto * 2.0, MAX_RTO)
+        if self.state == SYN_SENT:
+            self._emit_segment(TCP_SYN, seq=self.snd_nxt - 1)
+            self.retransmissions += 1
+        elif self.state == SYN_RCVD:
+            self._emit_segment(TCP_SYN | TCP_ACK, seq=self.snd_nxt - 1, ack=self.rcv_nxt)
+            self.retransmissions += 1
+        else:
+            # Go-back-N: resend everything unacked.
+            for seq, chunk in self._inflight:
+                self._emit_segment(TCP_ACK, seq=seq, ack=self.rcv_nxt, payload=chunk)
+                self.retransmissions += 1
+            if self._fin_sent and not self._fin_acked:
+                self._emit_segment(TCP_FIN | TCP_ACK, seq=self.snd_nxt - 1, ack=self.rcv_nxt)
+                self.retransmissions += 1
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def _maybe_finish_close(self) -> None:
+        if self.remote_closed and self._fin_acked:
+            self._teardown(None)
+
+    def _teardown(self, error: Optional[ConnectionError]) -> None:
+        if self.state == CLOSED:
+            return
+        self.state = CLOSED
+        self._cancel_timer()
+        self.tcp._forget(self)
+        if self.connect_future is not None and not self.connect_future.done:
+            self.connect_future.fail(error or ConnectionReset("closed"))
+        self.remote_closed = True
+        if error is None:
+            self._wake_receivers()
+        else:
+            while self._recv_waiters:
+                self._recv_waiters.popleft().fail(error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<TcpConnection {self.local_addr}:{self.local_port} <-> "
+            f"{self.remote_addr}:{self.remote_port} {self.state}>"
+        )
+
+
+class Tcp:
+    """Per-node TCP: demux, listeners, active opens."""
+
+    def __init__(self, ip: "IpStack"):
+        self.ip = ip
+        self.listeners: Dict[int, TcpListener] = {}
+        self.connections: Dict[Tuple[int, Address, int], TcpConnection] = {}
+        self._next_ephemeral = 49152
+        self.rst_sent = 0
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def listen(self, port: int) -> TcpListener:
+        if port in self.listeners:
+            raise OSError(f"{self.ip.node.name}: TCP port {port} already listening")
+        listener = TcpListener(self, port)
+        self.listeners[port] = listener
+        return listener
+
+    def connect(
+        self,
+        remote_addr: Address,
+        remote_port: int,
+        local_port: int = 0,
+        source: Optional[Address] = None,
+    ) -> TcpConnection:
+        """Begin an active open; wait on ``connection.connect_future``."""
+        if local_port == 0:
+            local_port = self._allocate_port(remote_addr, remote_port)
+        from repro.netsim.address import Ipv6Address
+
+        local_addr = source or self.ip.primary_address(
+            want_ipv6=isinstance(remote_addr, Ipv6Address)
+        )
+        if local_addr is None:
+            raise RuntimeError(f"{self.ip.node.name} has no usable source address")
+        connection = TcpConnection(self, local_addr, local_port, remote_addr, remote_port)
+        key = (local_port, remote_addr, remote_port)
+        if key in self.connections:
+            raise OSError(f"{self.ip.node.name}: connection {key} already exists")
+        self.connections[key] = connection
+        connection.start_connect()
+        return connection
+
+    def _allocate_port(self, remote_addr: Address, remote_port: int) -> int:
+        while (self._next_ephemeral, remote_addr, remote_port) in self.connections:
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    # ------------------------------------------------------------------
+    # Demux
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, ip_header) -> None:
+        header = packet.remove_header(TcpHeader)
+        key = (header.dst_port, ip_header.src, header.src_port)
+        connection = self.connections.get(key)
+        if connection is not None:
+            connection.handle_segment(packet, header)
+            return
+        if header.flags & TCP_SYN and not (header.flags & TCP_ACK):
+            listener = self.listeners.get(header.dst_port)
+            if listener is not None and not listener.closed:
+                connection = TcpConnection(
+                    self, ip_header.dst, header.dst_port, ip_header.src, header.src_port
+                )
+                self.connections[key] = connection
+                connection._accept_syn(header)
+                return
+        if not header.flags & TCP_RST:
+            self._send_rst(ip_header, header)
+
+    def _send_rst(self, ip_header, header: TcpHeader) -> None:
+        self.rst_sent += 1
+        packet = Packet(created_at=self.ip.sim.now)
+        packet.add_header(
+            TcpHeader(
+                header.dst_port,
+                header.src_port,
+                seq=header.ack,
+                ack=header.seq + 1,
+                flags=TCP_RST | TCP_ACK,
+            )
+        )
+        self.ip.send(packet, ip_header.src, PROTO_TCP, ip_header.dst)
+
+    def _forget(self, connection: TcpConnection) -> None:
+        key = (connection.local_port, connection.remote_addr, connection.remote_port)
+        existing = self.connections.get(key)
+        if existing is connection:
+            del self.connections[key]

@@ -1,0 +1,244 @@
+"""A tiered "real Internet" topology: host → home router → ISP → core.
+
+§III-D of the paper argues that the path between two DDoSim components —
+"different hubs (e.g., home routers and ISP switches) connected together
+using different mediums" — can *conceptually* be represented "as a single
+connection line with specific latency and bandwidth", which is what
+:class:`~repro.netsim.topology.StarInternet` implements.
+
+:class:`TieredInternet` builds the unabstracted version: every IoT-class
+host sits behind its own home router, home routers uplink to ISP edge
+routers (assigned round-robin), and ISPs uplink to one core router; fast
+hosts (Attacker, TServer) attach straight to the core.  It is duck-type
+compatible with ``StarInternet``, so the whole experiment series runs on
+it unchanged — and the ablation benchmark shows the two topologies
+produce closely matching attack magnitudes, empirically justifying the
+paper's single-link abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.netsim.address import (
+    ALL_DHCP_RELAY_AGENTS_AND_SERVERS,
+    Address,
+    Ipv4Address,
+    Ipv4AddressAllocator,
+    Ipv6Address,
+    Ipv6AddressAllocator,
+)
+from repro.netsim.channel import PointToPointChannel
+from repro.netsim.netdevice import PointToPointDevice
+from repro.netsim.node import Node
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.simulator import Simulator
+
+#: hosts below this rate are "IoT class" and live behind home routers
+IOT_CLASS_THRESHOLD_BPS = 10e6
+
+
+def _wire(sim: Simulator, node_a: Node, node_b: Node, rate_a: float,
+          rate_b: float, delay: float, queue_packets: int):
+    """Point-to-point link between two nodes; returns (dev_a, dev_b)."""
+    channel = PointToPointChannel(sim, delay=delay)
+    dev_a = PointToPointDevice(
+        sim, rate_a, DropTailQueue(queue_packets),
+        name=f"{node_a.name}-to-{node_b.name}",
+    )
+    dev_b = PointToPointDevice(
+        sim, rate_b, DropTailQueue(queue_packets),
+        name=f"{node_b.name}-to-{node_a.name}",
+    )
+    node_a.add_device(dev_a)
+    node_b.add_device(dev_b)
+    channel.attach(dev_a)
+    channel.attach(dev_b)
+    return dev_a, dev_b
+
+
+@dataclass
+class TieredHostLink:
+    """Attachment record; HostLink-compatible where it matters."""
+
+    node: Node
+    host_device: PointToPointDevice
+    router_device: PointToPointDevice   # the first-hop router's side
+    ipv6: Ipv6Address
+    ipv4: Ipv4Address
+    home_router: Optional[Node] = None
+
+    @property
+    def up(self) -> bool:
+        return self.host_device.up
+
+    def set_up(self, up: bool) -> None:
+        if up:
+            self.host_device.set_up()
+            self.router_device.set_up()
+        else:
+            self.host_device.set_down()
+            self.router_device.set_down()
+
+
+class TieredInternet:
+    """Three-tier topology with a StarInternet-compatible surface."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_isps: int = 3,
+        isp_uplink_bps: float = 200e6,
+        home_uplink_bps: float = 20e6,
+        hop_delay: float = 0.004,
+        ipv6_prefix: str = "2001:db8:0:1",
+        ipv4_prefix: str = "10.0.0.0",
+        default_queue_packets: int = 100,
+    ):
+        if n_isps <= 0:
+            raise ValueError("need at least one ISP")
+        self.sim = sim
+        self.hop_delay = hop_delay
+        self.home_uplink_bps = home_uplink_bps
+        self.default_queue_packets = default_queue_packets
+        self.links: Dict[Node, TieredHostLink] = {}
+        self._ipv6_pool = Ipv6AddressAllocator(ipv6_prefix)
+        self._ipv4_pool = Ipv4AddressAllocator(ipv4_prefix)
+
+        self.core = Node(sim, "core-router")
+        self.core.ip.forwarding = True
+        self.isps: List[Node] = []
+        #: per-forwarding-node DHCPv6 fan-out lists (group -> devices)
+        self._fanout: Dict[Node, List[PointToPointDevice]] = {self.core: []}
+        for index in range(n_isps):
+            isp = Node(sim, f"isp{index}")
+            isp.ip.forwarding = True
+            core_side, isp_side = _wire(
+                sim, self.core, isp, isp_uplink_bps, isp_uplink_bps,
+                hop_delay, default_queue_packets,
+            )
+            isp.ip.set_default_device(isp_side)
+            self.isps.append(isp)
+            self._fanout[isp] = []
+            self._fanout[self.core].append(core_side)
+            # Remember the device facing each ISP for route installs.
+            isp._core_facing = core_side          # type: ignore[attr-defined]
+            isp._uplink_device = isp_side         # type: ignore[attr-defined]
+        self.core.ip.add_multicast_route(
+            ALL_DHCP_RELAY_AGENTS_AND_SERVERS, self._fanout[self.core]
+        )
+        self._next_isp = 0
+        self._home_count = 0
+
+    # ------------------------------------------------------------------
+    # StarInternet-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def router(self) -> Node:
+        """The core router (the star's single router analogue)."""
+        return self.core
+
+    def attach_host(
+        self,
+        node: Node,
+        data_rate_bps: float,
+        delay: float = 0.010,
+        downlink_rate_bps: Optional[float] = None,
+        queue_packets: Optional[int] = None,
+        dhcp6_multicast_member: bool = False,
+    ) -> TieredHostLink:
+        if node in self.links:
+            raise ValueError(f"{node.name} is already attached")
+        queue_size = queue_packets or self.default_queue_packets
+        ipv6 = self._ipv6_pool.allocate()
+        ipv4 = self._ipv4_pool.allocate()
+        if data_rate_bps < IOT_CLASS_THRESHOLD_BPS:
+            link = self._attach_behind_home_router(
+                node, data_rate_bps, delay, downlink_rate_bps, queue_size,
+                ipv6, ipv4, dhcp6_multicast_member,
+            )
+        else:
+            link = self._attach_to_core(
+                node, data_rate_bps, delay, downlink_rate_bps, queue_size,
+                ipv6, ipv4,
+            )
+        node.ip.add_address(link.host_device, ipv6)
+        node.ip.add_address(link.host_device, ipv4)
+        node.ip.set_default_device(link.host_device)
+        self.links[node] = link
+        return link
+
+    def _attach_to_core(self, node, rate, delay, downlink, queue_size,
+                        ipv6, ipv4) -> TieredHostLink:
+        host_device, core_device = _wire(
+            self.sim, node, self.core, rate, downlink or rate, delay, queue_size
+        )
+        self.core.ip.add_route(ipv6, core_device)
+        self.core.ip.add_route(ipv4, core_device)
+        return TieredHostLink(node, host_device, core_device, ipv6, ipv4)
+
+    def _attach_behind_home_router(self, node, rate, delay, downlink,
+                                   queue_size, ipv6, ipv4,
+                                   dhcp6_member) -> TieredHostLink:
+        isp = self.isps[self._next_isp % len(self.isps)]
+        self._next_isp += 1
+        self._home_count += 1
+        home = Node(self.sim, f"home{self._home_count:03d}")
+        home.ip.forwarding = True
+
+        # host <-> home (the access link: the IoT bottleneck)
+        host_device, home_down = _wire(
+            self.sim, node, home, rate, downlink or rate, delay, queue_size
+        )
+        # home <-> ISP
+        home_up, isp_down = _wire(
+            self.sim, home, isp, self.home_uplink_bps, self.home_uplink_bps,
+            self.hop_delay, queue_size,
+        )
+        home.ip.set_default_device(home_up)
+
+        # Downstream host routes along the chain.
+        for address in (ipv6, ipv4):
+            self.core.ip.add_route(address, isp._core_facing)  # type: ignore[attr-defined]
+            isp.ip.add_route(address, isp_down)
+            home.ip.add_route(address, home_down)
+
+        if dhcp6_member:
+            self._fanout[isp].append(isp_down)
+            isp.ip.add_multicast_route(
+                ALL_DHCP_RELAY_AGENTS_AND_SERVERS, self._fanout[isp]
+            )
+            home.ip.add_multicast_route(
+                ALL_DHCP_RELAY_AGENTS_AND_SERVERS, [home_down]
+            )
+        return TieredHostLink(
+            node, host_device, home_down, ipv6, ipv4, home_router=home
+        )
+
+    def link_of(self, node: Node) -> TieredHostLink:
+        return self.links[node]
+
+    def address_of(self, node: Node, want_ipv6: bool = True) -> Address:
+        link = self.links[node]
+        return link.ipv6 if want_ipv6 else link.ipv4
+
+    def set_host_up(self, node: Node, up: bool) -> None:
+        self.links[node].set_up(up)
+
+    def total_queue_drops(self) -> int:
+        drops = 0
+        seen = set()
+        nodes = [self.core] + self.isps + [
+            link.home_router for link in self.links.values()
+            if link.home_router is not None
+        ] + [link.node for link in self.links.values()]
+        for network_node in nodes:
+            if id(network_node) in seen:
+                continue
+            seen.add(id(network_node))
+            for device in network_node.devices:
+                queue = getattr(device, "queue", None)
+                if queue is not None and hasattr(queue, "dropped"):
+                    drops += queue.dropped
+        return drops

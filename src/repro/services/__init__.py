@@ -1,0 +1,48 @@
+"""repro.services — protocol servers/clients over the simulated network.
+
+The Attacker component's sub-services (§II-A / §III-A of the paper):
+
+* :mod:`repro.services.dns` — wire-format DNS plus the **malicious DNS
+  server** that answers Devs' queries with exploit-carrying responses
+  (the CVE-2017-12865 delivery path);
+* :mod:`repro.services.dhcp6` — DHCPv6 messages plus the **RELAYFORW
+  exploit sender** that multicasts malformed messages to ``ff02::1:2``
+  (the CVE-2017-14493 delivery path);
+* :mod:`repro.services.http` — the Apache-analogue **file server** hosting
+  the infection shell script and Mirai binaries, and the client side
+  ``curl`` uses;
+* :mod:`repro.services.telnet` — the line-oriented console used to drive
+  the C&C server;
+* :mod:`repro.services.exploits` — the **Exploit & Infection Scripts**:
+  per-CVE payload builders (leak handling + ROP chain) and the hosted
+  shell script that turns a hijack into a Mirai install.
+"""
+
+from repro.services.dns import (
+    CLASS_IN,
+    DnsMessage,
+    DnsQuestion,
+    DnsResourceRecord,
+    TYPE_A,
+    TYPE_AAAA,
+    TYPE_TXT,
+)
+from repro.services.dhcp6 import Dhcp6Message, Dhcp6Option
+from repro.services.http import HttpFileServer, HttpResponse, http_get
+from repro.services.telnet import TelnetServer
+
+__all__ = [
+    "CLASS_IN",
+    "Dhcp6Message",
+    "Dhcp6Option",
+    "DnsMessage",
+    "DnsQuestion",
+    "DnsResourceRecord",
+    "HttpFileServer",
+    "HttpResponse",
+    "TYPE_A",
+    "TYPE_AAAA",
+    "TYPE_TXT",
+    "TelnetServer",
+    "http_get",
+]

@@ -1,0 +1,140 @@
+"""DHCPv6 messages (RFC 8415 subset) — the Dnsmasq delivery path.
+
+CVE-2017-14493 is a stack overflow in dnsmasq's handling of RELAY-FORW
+messages.  The paper: "we craft a RELAYFORW DHCPv6 message that contains
+the above payload and send it to Devs ... to a multicast IPv6 address
+since the vulnerability in Dnsmasq resides in its IPv6 processing module,
+and there is no broadcast address in IPv6" (§III-A, §IV-A).
+
+The format modelled: relay messages carry a 1-byte msg-type, 1-byte
+hop-count, two 16-byte addresses, then TLV options.  The exploit rides in
+``OPTION_RELAY_MSG``, whose contents the vulnerable handler copies into a
+fixed stack buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.netsim.address import Ipv6Address
+
+# Message types.
+MSG_SOLICIT = 1
+MSG_ADVERTISE = 2
+MSG_REPLY = 7
+MSG_INFORMATION_REQUEST = 11
+MSG_RELAY_FORW = 12
+MSG_RELAY_REPL = 13
+
+# Option codes.
+OPTION_CLIENTID = 1
+OPTION_SERVERID = 2
+OPTION_STATUS_CODE = 13
+OPTION_RELAY_MSG = 9
+OPTION_VENDOR_OPTS = 17
+
+SERVER_PORT = 547
+CLIENT_PORT = 546
+
+
+class Dhcp6DecodeError(ValueError):
+    """Malformed DHCPv6 wire data."""
+
+
+@dataclass
+class Dhcp6Option:
+    code: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        return struct.pack("!HH", self.code, len(self.data)) + self.data
+
+
+@dataclass
+class Dhcp6Message:
+    """A DHCPv6 message; relay forms carry hop/link/peer, others a txn id."""
+
+    msg_type: int
+    transaction_id: int = 0
+    hop_count: int = 0
+    link_address: Optional[Ipv6Address] = None
+    peer_address: Optional[Ipv6Address] = None
+    options: List[Dhcp6Option] = field(default_factory=list)
+
+    @property
+    def is_relay(self) -> bool:
+        return self.msg_type in (MSG_RELAY_FORW, MSG_RELAY_REPL)
+
+    def option(self, code: int) -> Optional[Dhcp6Option]:
+        for option in self.options:
+            if option.code == code:
+                return option
+        return None
+
+    def encode(self) -> bytes:
+        if self.is_relay:
+            link = (self.link_address or Ipv6Address(0)).value
+            peer = (self.peer_address or Ipv6Address(0)).value
+            head = struct.pack(
+                "!BB16s16s",
+                self.msg_type,
+                self.hop_count,
+                link.to_bytes(16, "big"),
+                peer.to_bytes(16, "big"),
+            )
+        else:
+            head = struct.pack("!I", (self.msg_type << 24) | (self.transaction_id & 0xFFFFFF))
+        return head + b"".join(option.encode() for option in self.options)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Dhcp6Message":
+        if not data:
+            raise Dhcp6DecodeError("empty message")
+        msg_type = data[0]
+        if msg_type in (MSG_RELAY_FORW, MSG_RELAY_REPL):
+            if len(data) < 34:
+                raise Dhcp6DecodeError("short relay header")
+            hop_count = data[1]
+            link = Ipv6Address(int.from_bytes(data[2:18], "big"))
+            peer = Ipv6Address(int.from_bytes(data[18:34], "big"))
+            options = cls._decode_options(data, 34)
+            return cls(
+                msg_type,
+                hop_count=hop_count,
+                link_address=link,
+                peer_address=peer,
+                options=options,
+            )
+        if len(data) < 4:
+            raise Dhcp6DecodeError("short header")
+        transaction_id = int.from_bytes(data[1:4], "big")
+        options = cls._decode_options(data, 4)
+        return cls(msg_type, transaction_id=transaction_id, options=options)
+
+    @staticmethod
+    def _decode_options(data: bytes, offset: int) -> List[Dhcp6Option]:
+        options: List[Dhcp6Option] = []
+        while offset < len(data):
+            if offset + 4 > len(data):
+                raise Dhcp6DecodeError("truncated option header")
+            code, length = struct.unpack_from("!HH", data, offset)
+            offset += 4
+            if offset + length > len(data):
+                raise Dhcp6DecodeError("truncated option data")
+            options.append(Dhcp6Option(code, data[offset: offset + length]))
+            offset += length
+        return options
+
+
+def make_relay_forw(payload: bytes, link: Ipv6Address, peer: Ipv6Address,
+                    hop_count: int = 0) -> Dhcp6Message:
+    """The attack message: RELAY-FORW wrapping ``payload`` in RELAY_MSG."""
+    return Dhcp6Message(
+        MSG_RELAY_FORW,
+        hop_count=hop_count,
+        link_address=link,
+        peer_address=peer,
+        options=[Dhcp6Option(OPTION_RELAY_MSG, payload)],
+    )

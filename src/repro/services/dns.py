@@ -1,0 +1,165 @@
+"""DNS wire format (RFC 1035 subset, no compression) and helpers.
+
+Connman's dnsproxy is the paper's first exploitation target: Devs running
+the Connman analogue are "manually configured to listen to our malicious
+DNS server" (§V-C), send it queries, and the server answers with a
+response whose record data overflows the vulnerable parser.
+
+The encoder/decoder here is deliberately strict *except* where the attack
+needs it not to be: resource-record RDATA is raw length-prefixed bytes,
+so a response can legally carry an arbitrary binary blob — which is where
+the ROP payload rides.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+TYPE_A = 1
+TYPE_CNAME = 5
+TYPE_TXT = 16
+TYPE_AAAA = 28
+CLASS_IN = 1
+
+FLAG_QR = 0x8000  # response bit
+FLAG_RD = 0x0100  # recursion desired
+RCODE_SERVFAIL = 2
+
+_HEADER = struct.Struct("!HHHHHH")
+
+
+class DnsDecodeError(ValueError):
+    """Malformed DNS wire data."""
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a dotted name as length-prefixed labels."""
+    if name in ("", "."):
+        return b"\x00"
+    encoded = bytearray()
+    for label in name.rstrip(".").split("."):
+        raw = label.encode()
+        if not raw:
+            raise DnsDecodeError(f"empty label in {name!r}")
+        if len(raw) > 63:
+            raise DnsDecodeError(f"label too long in {name!r}")
+        encoded.append(len(raw))
+        encoded.extend(raw)
+    encoded.append(0)
+    return bytes(encoded)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode labels at ``offset``; returns (name, next_offset)."""
+    labels: List[str] = []
+    while True:
+        if offset >= len(data):
+            raise DnsDecodeError("truncated name")
+        length = data[offset]
+        offset += 1
+        if length == 0:
+            break
+        if length > 63:
+            raise DnsDecodeError(f"label length {length} > 63 (compression unsupported)")
+        if offset + length > len(data):
+            raise DnsDecodeError("truncated label")
+        labels.append(data[offset: offset + length].decode("ascii", "replace"))
+        offset += length
+    return ".".join(labels), offset
+
+
+@dataclass
+class DnsQuestion:
+    name: str
+    qtype: int = TYPE_A
+    qclass: int = CLASS_IN
+
+    def encode(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", self.qtype, self.qclass)
+
+
+@dataclass
+class DnsResourceRecord:
+    name: str
+    rtype: int
+    rdata: bytes
+    rclass: int = CLASS_IN
+    ttl: int = 60
+
+    def encode(self) -> bytes:
+        return (
+            encode_name(self.name)
+            + struct.pack("!HHIH", self.rtype, self.rclass, self.ttl, len(self.rdata))
+            + self.rdata
+        )
+
+
+@dataclass
+class DnsMessage:
+    """A full DNS message (header + questions + answers)."""
+
+    id: int = 0
+    flags: int = 0
+    questions: List[DnsQuestion] = field(default_factory=list)
+    answers: List[DnsResourceRecord] = field(default_factory=list)
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.flags & FLAG_QR)
+
+    @property
+    def rcode(self) -> int:
+        return self.flags & 0x000F
+
+    def encode(self) -> bytes:
+        header = _HEADER.pack(
+            self.id, self.flags, len(self.questions), len(self.answers), 0, 0
+        )
+        body = b"".join(question.encode() for question in self.questions)
+        body += b"".join(answer.encode() for answer in self.answers)
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsMessage":
+        if len(data) < _HEADER.size:
+            raise DnsDecodeError("short DNS header")
+        message_id, flags, qdcount, ancount, _ns, _ar = _HEADER.unpack_from(data)
+        offset = _HEADER.size
+        questions: List[DnsQuestion] = []
+        for _ in range(qdcount):
+            name, offset = decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise DnsDecodeError("truncated question")
+            qtype, qclass = struct.unpack_from("!HH", data, offset)
+            offset += 4
+            questions.append(DnsQuestion(name, qtype, qclass))
+        answers: List[DnsResourceRecord] = []
+        for _ in range(ancount):
+            name, offset = decode_name(data, offset)
+            if offset + 10 > len(data):
+                raise DnsDecodeError("truncated record header")
+            rtype, rclass, ttl, rdlength = struct.unpack_from("!HHIH", data, offset)
+            offset += 10
+            if offset + rdlength > len(data):
+                raise DnsDecodeError("truncated rdata")
+            rdata = data[offset: offset + rdlength]
+            offset += rdlength
+            answers.append(DnsResourceRecord(name, rtype, rdata, rclass, ttl))
+        return cls(message_id, flags, questions, answers)
+
+
+def make_query(message_id: int, name: str, qtype: int = TYPE_A) -> DnsMessage:
+    return DnsMessage(
+        id=message_id, flags=FLAG_RD, questions=[DnsQuestion(name, qtype)]
+    )
+
+
+def make_response(query: DnsMessage, answers: List[DnsResourceRecord]) -> DnsMessage:
+    return DnsMessage(
+        id=query.id,
+        flags=FLAG_QR | (query.flags & FLAG_RD),
+        questions=list(query.questions),
+        answers=answers,
+    )

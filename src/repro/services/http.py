@@ -1,0 +1,124 @@
+"""A minimal HTTP/1.0 file server and client over the simulated network.
+
+The paper's Attacker "installs an Apache server ... to host our malicious
+binaries and scripts to deliver them to Devs upon request" (§III-A).
+:class:`HttpFileServer` is that Apache analogue: it serves files out of
+the attacker container's filesystem.  ``http_get`` is the client side
+that the emulated ``curl`` builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.process import SimProcess
+from repro.netsim.sockets import TcpSocket
+
+DEFAULT_PORT = 80
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    reason: str
+    body: bytes
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class HttpError(OSError):
+    """Request failed below the HTTP layer or with a bad response."""
+
+
+class HttpFileServer:
+    """Serves GET requests from a container filesystem subtree."""
+
+    def __init__(self, root: str = "/var/www", port: int = DEFAULT_PORT):
+        self.root = root.rstrip("/")
+        self.port = port
+        self.requests_served = 0
+        self.requests_failed = 0
+
+    def program(self):
+        """Build the ``program(ctx)`` generator for this server."""
+
+        def apache(ctx):
+            server = ctx.netns.tcp_listen(self.port)
+            ctx.bind_port_marker(self.port)
+            ctx.log(f"apache listening on :{self.port}, root {self.root}")
+            try:
+                while True:
+                    sock = yield server.accept()
+                    SimProcess(
+                        ctx.sim, self._handle(ctx, sock), name="apache-worker"
+                    )
+            finally:
+                ctx.release_port_marker(self.port)
+                server.close()
+
+        return apache
+
+    def _handle(self, ctx, sock: TcpSocket):
+        try:
+            request_line = yield from sock.read_line()
+            if request_line is None:
+                return
+            # Drain headers until the blank line.
+            while True:
+                line = yield from sock.read_line()
+                if not line:
+                    break
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                self.requests_failed += 1
+                sock.send(b"HTTP/1.0 400 Bad Request\r\n\r\n")
+                return
+            path = parts[1].split("?")[0]
+            file_path = f"{self.root}{path}"
+            if not ctx.fs.exists(file_path):
+                self.requests_failed += 1
+                sock.send(b"HTTP/1.0 404 Not Found\r\n\r\n")
+                return
+            body = ctx.fs.read_file(file_path)
+            header = (
+                f"HTTP/1.0 200 OK\r\nContent-Length: {len(body)}\r\n"
+                f"Content-Type: application/octet-stream\r\n\r\n"
+            ).encode()
+            sock.send(header + body)
+            self.requests_served += 1
+        finally:
+            sock.close()
+
+
+def http_get(netns, address, port: int, path: str):
+    """Generator (``yield from``): GET ``path`` and return :class:`HttpResponse`."""
+    sock = netns.tcp_connect(address, port)
+    yield sock.wait_connected()
+    try:
+        sock.send(f"GET {path} HTTP/1.0\r\nHost: {address}\r\n\r\n".encode())
+        status_line = yield from sock.read_line()
+        if status_line is None:
+            raise HttpError("empty HTTP response")
+        parts = status_line.decode("ascii", "replace").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise HttpError(f"bad status line {status_line!r}")
+        status = int(parts[1])
+        reason = parts[2] if len(parts) > 2 else ""
+        content_length: Optional[int] = None
+        while True:
+            line = yield from sock.read_line()
+            if not line:
+                break
+            key, _, value = line.decode("ascii", "replace").partition(":")
+            if key.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length is not None:
+            body = yield from sock.read_exactly(content_length)
+        else:
+            body = yield from sock.read_all()
+        return HttpResponse(status, reason, body)
+    finally:
+        sock.close()

@@ -1,0 +1,117 @@
+"""A line-oriented telnet-style console server.
+
+The paper: "we can access C&C Server from a terminal via telnet to
+monitor the connected bots and instruct them to attack TServer" (§III-A).
+:class:`TelnetServer` provides that console: it authenticates a login,
+then feeds each received line to a command handler and writes back the
+handler's reply — the C&C admin interface plugs in as the handler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.process import SimProcess
+from repro.netsim.sockets import TcpSocket
+
+#: handler(line) -> reply text (or None to say nothing)
+CommandHandler = Callable[[str], Optional[str]]
+
+
+class TelnetServer:
+    """Authenticated line-based console on a TCP port."""
+
+    def __init__(
+        self,
+        port: int = 2323,
+        username: str = "root",
+        password: str = "root",
+        banner: str = "DDoSim C&C console",
+    ):
+        self.port = port
+        self.username = username
+        self.password = password
+        self.banner = banner
+        self.sessions_opened = 0
+        self.logins_failed = 0
+        self.handler: Optional[CommandHandler] = None
+
+    def program(self):
+        """Build the ``program(ctx)`` generator for this console."""
+
+        def telnetd(ctx):
+            server = ctx.netns.tcp_listen(self.port)
+            ctx.bind_port_marker(self.port)
+            try:
+                while True:
+                    sock = yield server.accept()
+                    self.sessions_opened += 1
+                    SimProcess(ctx.sim, self._session(sock), name="telnet-session")
+            finally:
+                ctx.release_port_marker(self.port)
+                server.close()
+
+        return telnetd
+
+    def _session(self, sock: TcpSocket):
+        try:
+            sock.send_line(self.banner)
+            sock.send_line("login:")
+            user = yield from sock.read_line()
+            sock.send_line("password:")
+            password = yield from sock.read_line()
+            if user is None or password is None:
+                return
+            if user.decode() != self.username or password.decode() != self.password:
+                self.logins_failed += 1
+                sock.send_line("login incorrect")
+                return
+            sock.send_line("ok")
+            while True:
+                line = yield from sock.read_line()
+                if line is None:
+                    return
+                text = line.decode("utf-8", "replace").strip()
+                if text in ("exit", "quit"):
+                    sock.send_line("bye")
+                    return
+                if self.handler is None:
+                    sock.send_line("no shell")
+                else:
+                    reply = self.handler(text)
+                    if reply is not None:
+                        for reply_line in reply.splitlines() or [""]:
+                            sock.send_line(reply_line)
+                sock.send_line(".")  # end-of-reply marker for clients
+        finally:
+            sock.close()
+
+
+def telnet_exec(netns, address, port: int, username: str, password: str,
+                commands):
+    """Generator: log in, run each command, return the list of replies."""
+    sock = netns.tcp_connect(address, port)
+    yield sock.wait_connected()
+    replies = []
+    try:
+        yield from sock.read_line()  # banner
+        yield from sock.read_line()  # login prompt
+        sock.send_line(username)
+        yield from sock.read_line()  # password prompt
+        sock.send_line(password)
+        status = yield from sock.read_line()
+        if status != b"ok":
+            raise ConnectionError("telnet login failed")
+        for command in commands:
+            sock.send_line(command)
+            lines = []
+            while True:
+                line = yield from sock.read_line()
+                if line is None or line == b".":
+                    break
+                lines.append(line.decode("utf-8", "replace"))
+            replies.append("\n".join(lines))
+        sock.send_line("exit")
+        return replies
+    finally:
+        sock.close()

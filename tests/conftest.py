@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.node import Node
+from repro.netsim.process import SimProcess
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import StarInternet
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def star(sim) -> StarInternet:
+    return StarInternet(sim)
+
+
+@pytest.fixture
+def two_hosts(sim, star):
+    """Two 1 Mbps hosts on the star; returns (node_a, node_b, star)."""
+    node_a = Node(sim, "host-a")
+    node_b = Node(sim, "host-b")
+    star.attach_host(node_a, 1e6, delay=0.001)
+    star.attach_host(node_b, 1e6, delay=0.001)
+    return node_a, node_b, star
+
+
+def drive(sim: Simulator, generator, until: float = 60.0, name: str = "test-proc"):
+    """Run a coroutine to completion inside the simulator; returns its
+    value, re-raising any error it ended with."""
+    process = SimProcess(sim, generator, name=name)
+    sim.run(until=until)
+    if not process.done:
+        raise AssertionError(f"{name} did not finish by t={until}")
+    if process.error is not None:
+        raise process.error
+    return process.value

@@ -1,0 +1,63 @@
+"""Mini-harness: hand-assembled containers on the star Internet.
+
+Lets protocol/daemon tests build exactly the topology they need without
+pulling in the full DDoSim framework.
+"""
+
+from __future__ import annotations
+
+from repro.binaries.shell import make_shell_program
+from repro.container.image import Image
+from repro.container.runtime import ContainerRuntime
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import StarInternet
+
+
+class MiniNet:
+    """A simulator + star + container runtime bundle for tests."""
+
+    def __init__(self, seed: int = 1):
+        self.sim = Simulator()
+        self.star = StarInternet(self.sim)
+        self.runtime = ContainerRuntime(self.sim, seed=seed)
+
+    def host_container(
+        self,
+        name: str,
+        rate_bps: float = 1e6,
+        files: dict = None,
+        env: dict = None,
+        with_shell: bool = True,
+        dhcp6_member: bool = False,
+        allow_curl: bool = True,
+    ):
+        """Create a started container bridged to a star-attached node.
+
+        ``files`` maps path -> bytes | (bytes, mode) | (bytes, mode, program).
+        Returns (container, node, link).
+        """
+        image = Image(f"{name}-image")
+        if with_shell:
+            image.fs.write_file(
+                "/bin/sh", b"#!sh", mode=0o755,
+                program=make_shell_program(allow_curl=allow_curl),
+            )
+        for path, spec in (files or {}).items():
+            if isinstance(spec, bytes):
+                image.fs.write_file(path, spec, mode=0o755)
+            else:
+                data, mode = spec[0], spec[1]
+                program = spec[2] if len(spec) > 2 else None
+                image.fs.write_file(path, data, mode=mode, program=program)
+        self.runtime.add_image(image)
+        container = self.runtime.create(image.reference, name=name)
+        if env:
+            container.env.update(env)
+        node = Node(self.sim, f"{name}-node")
+        link = self.star.attach_host(
+            node, rate_bps, dhcp6_multicast_member=dhcp6_member
+        )
+        self.runtime.attach_network(container, node)
+        self.runtime.start(container)
+        return container, node, link

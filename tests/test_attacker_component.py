@@ -1,0 +1,92 @@
+"""Unit-level tests for the Attacker component's services and state."""
+
+import pytest
+
+from repro.core import DDoSim, SimulationConfig
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_devs=3, seed=13, attack_duration=10.0,
+        recruit_timeout=30.0, sim_duration=120.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestAttackerAssembly:
+    @pytest.fixture(scope="class")
+    def built(self):
+        ddosim = DDoSim(small_config())
+        ddosim.build()
+        return ddosim
+
+    def test_attacker_container_filesystem(self, built):
+        fs = built.attacker.container.fs
+        for path in (
+            "/bin/sh", "/usr/sbin/cnc", "/usr/sbin/apache2",
+            "/usr/sbin/telnetd", "/usr/sbin/dnsd", "/usr/sbin/dhcp6x",
+            "/sbin/init",
+        ):
+            assert fs.exists(path), f"missing {path}"
+            assert fs.entry(path).executable
+
+    def test_file_server_hosts_payloads(self, built):
+        fs = built.attacker.container.fs
+        assert fs.exists("/var/www/payload/infect.sh")
+        assert fs.exists("/var/www/bins/mirai.x86_64")
+        script = fs.read_file("/var/www/payload/infect.sh").decode()
+        assert "curl" in script and "$ARCH" in script
+
+    def test_hosted_mirai_is_loadable(self, built):
+        from repro.binaries.binfmt import BinaryImage
+
+        data = built.attacker.container.fs.read_file("/var/www/bins/mirai.x86_64")
+        binary = BinaryImage.parse(data)
+        assert binary.program_key == "mirai"
+
+    def test_urls_point_at_attacker(self, built):
+        urls = built.attacker.urls
+        assert str(built.attacker.address) in urls.shellscript_url
+
+    def test_exploit_kits_target_fleet_binaries(self, built):
+        assert built.attacker.connman_kit.target is built.devs.connman_binary
+        assert built.attacker.dnsmasq_kit.target is built.devs.dnsmasq_binary
+
+
+class TestAttackerBehaviourCounters:
+    @pytest.fixture(scope="class")
+    def run(self):
+        ddosim = DDoSim(small_config(n_devs=6))
+        result = ddosim.run()
+        return ddosim, result
+
+    def test_two_stage_counts(self, run):
+        ddosim, result = run
+        attacker = ddosim.attacker
+        # Every connman Dev got exactly one probe and >= one exploit; every
+        # dnsmasq Dev answered a multicast probe and got one exploit.
+        connman_count = sum(
+            1 for dev in ddosim.devs.devs if dev.kind == "connman"
+        )
+        dnsmasq_count = len(ddosim.devs.devs) - connman_count
+        assert attacker.dns_probes_sent == connman_count
+        assert attacker.dns_exploits_sent == connman_count
+        assert attacker.dhcp_exploits_sent == dnsmasq_count
+        assert attacker.leaks_harvested == 6
+
+    def test_slides_recorded_per_victim(self, run):
+        ddosim, _result = run
+        attacker = ddosim.attacker
+        assert len(attacker.dns_slides) + len(attacker.dhcp_slides) == 6
+
+    def test_telnet_console_controls_cnc(self, run):
+        ddosim, _result = run
+        reply = ddosim.attacker.cnc.console_handler("status")
+        assert "bots=6" in reply
+
+    def test_exploit_budget_limits_infections(self):
+        ddosim = DDoSim(small_config(n_devs=5, recruit_timeout=20.0))
+        ddosim.attacker.max_initial_infections = 2
+        result = ddosim.run()
+        assert result.recruitment.bots_recruited == 2

@@ -1,0 +1,141 @@
+"""Unit + property tests for the emulated binary format and loader."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binaries.binfmt import (
+    BinaryImage,
+    BinaryRuntime,
+    MAGIC,
+    STATIC_RET_OFFSET,
+    binary_loader,
+    lookup_program,
+    register_program,
+)
+from repro.container import loaders
+
+
+def make_binary(**overrides):
+    defaults = dict(
+        name="daemon",
+        version="1.0",
+        program_key="connmand",  # registered by repro.binaries.connman
+        protections=("wx",),
+        build_seed=3,
+    )
+    defaults.update(overrides)
+    return BinaryImage(**defaults)
+
+
+class TestBinaryImage:
+    def test_serialize_parse_roundtrip(self):
+        binary = make_binary(protections=("wx", "aslr"), vulnerable=False)
+        parsed = BinaryImage.parse(binary.serialize())
+        assert parsed.metadata_dict() == binary.metadata_dict()
+
+    def test_serialized_size_matches_file_size(self):
+        binary = make_binary(file_size=32 * 1024)
+        assert len(binary.serialize()) == 32 * 1024
+
+    def test_magic_prefix(self):
+        assert make_binary().serialize().startswith(MAGIC)
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryImage.parse(b"\x7fELF real elf bytes")
+
+    def test_unknown_protection_rejected(self):
+        with pytest.raises(ValueError):
+            make_binary(protections=("nx",))
+
+    def test_protection_flags(self):
+        assert make_binary(protections=("wx",)).wx_enabled
+        assert not make_binary(protections=("wx",)).aslr_enabled
+        assert make_binary(protections=("aslr",)).aslr_enabled
+
+    def test_gadget_table_stable_per_build(self):
+        one = make_binary(build_seed=9).gadget_table()
+        two = make_binary(build_seed=9).gadget_table()
+        assert one.addresses == two.addresses
+
+    @given(
+        st.sampled_from([(), ("wx",), ("aslr",), ("wx", "aslr")]),
+        st.integers(min_value=0, max_value=2**31),
+        st.booleans(),
+    )
+    def test_roundtrip_property(self, protections, seed, vulnerable):
+        binary = make_binary(
+            protections=protections, build_seed=seed, vulnerable=vulnerable
+        )
+        parsed = BinaryImage.parse(binary.serialize())
+        assert parsed.protections == frozenset(protections)
+        assert parsed.build_seed == seed
+        assert parsed.vulnerable == vulnerable
+
+
+class TestBinaryRuntime:
+    def test_no_aslr_loads_at_static_base(self):
+        runtime = BinaryRuntime(make_binary(), random.Random(1))
+        assert runtime.slide == 0
+        assert runtime.runtime_text_base == 0x400000
+
+    def test_aslr_slides_text(self):
+        runtime = BinaryRuntime(
+            make_binary(protections=("aslr",)), random.Random(1)
+        )
+        assert runtime.slide != 0
+        assert runtime.runtime_text_base == 0x400000 + runtime.slide
+
+    def test_leak_points_at_ret_offset(self):
+        runtime = BinaryRuntime(
+            make_binary(protections=("aslr",)), random.Random(2)
+        )
+        assert runtime.leak_code_pointer() == (
+            0x400000 + runtime.slide + STATIC_RET_OFFSET
+        )
+
+    def test_wx_reflected_in_address_space(self):
+        hardened = BinaryRuntime(make_binary(protections=("wx",)), random.Random(1))
+        legacy = BinaryRuntime(make_binary(protections=()), random.Random(1))
+        assert not hardened.address_space.region_named("stack").executable
+        assert legacy.address_space.region_named("stack").executable
+
+    def test_aslr_draw_differs_per_process(self):
+        binary = make_binary(protections=("aslr",))
+        one = BinaryRuntime(binary, random.Random(1))
+        two = BinaryRuntime(binary, random.Random(2))
+        assert one.slide != two.slide
+
+
+class TestLoader:
+    def test_loader_ignores_foreign_bytes(self):
+        assert binary_loader(b"#!/bin/sh\n") is None
+
+    def test_loader_resolves_registered_program(self):
+        resolved = binary_loader(make_binary().serialize())
+        assert resolved is not None
+        program, name, rss = resolved
+        assert name == "daemon"
+        assert rss == make_binary().rss_bytes
+        assert callable(program)
+
+    def test_loader_rejects_unregistered_key(self):
+        binary = make_binary(program_key="no-such-program")
+        with pytest.raises(ValueError, match="unregistered"):
+            binary_loader(binary.serialize())
+
+    def test_registry_registration(self):
+        def factory(image):
+            def program(ctx):
+                yield None
+
+            return program
+
+        register_program("test-prog-xyz", factory)
+        assert lookup_program("test-prog-xyz") is factory
+
+    def test_loader_registered_with_container_layer(self):
+        resolved = loaders.resolve_program(make_binary().serialize())
+        assert resolved is not None

@@ -1,0 +1,129 @@
+"""Unit tests for Dockerfile-style image building and Buildx bakes."""
+
+import pytest
+
+from repro.container.build import BuildContext, BuildError, ImageBuilder, buildx_bake
+
+
+@pytest.fixture
+def context():
+    ctx = BuildContext()
+    ctx.add("daemon", b"\x7felf-bytes", mode=0o644)
+    ctx.add("script", b"#!/bin/sh\necho hi\n", mode=0o755)
+    return ctx
+
+
+@pytest.fixture
+def builder(context):
+    return ImageBuilder(context)
+
+
+class TestInstructions:
+    def test_minimal_dockerfile(self, builder):
+        image = builder.build("FROM scratch", "mini")
+        assert image.reference == "mini:latest"
+
+    def test_from_must_be_first(self, builder):
+        with pytest.raises(BuildError, match="first instruction"):
+            builder.build("COPY daemon /bin/daemon", "bad")
+
+    def test_unknown_base_rejected(self, builder):
+        with pytest.raises(BuildError, match="unknown base image"):
+            builder.build("FROM ubuntu:latest", "bad")
+
+    def test_base_image_sets_footprint(self, builder):
+        scratch = builder.build("FROM scratch", "a")
+        debian = builder.build("FROM debian:slim", "b")
+        assert debian.base_rss_bytes > scratch.base_rss_bytes
+
+    def test_copy_brings_context_artifact(self, builder):
+        image = builder.build("FROM scratch\nCOPY daemon /usr/sbin/daemon", "img")
+        assert image.fs.read_file("/usr/sbin/daemon") == b"\x7felf-bytes"
+
+    def test_copy_preserves_mode_and_program(self):
+        def program(ctx):
+            yield None
+
+        context = BuildContext()
+        context.add("svc", b"x", mode=0o711, program=program)
+        image = ImageBuilder(context).build("FROM scratch\nCOPY svc /bin/svc", "img")
+        entry = image.fs.entry("/bin/svc")
+        assert entry.mode == 0o711
+        assert entry.program is program
+
+    def test_copy_unknown_source_rejected(self, builder):
+        with pytest.raises(BuildError, match="not in build context"):
+            builder.build("FROM scratch\nCOPY nothing /x", "img")
+
+    def test_run_chmod_plus_x(self, builder):
+        image = builder.build(
+            "FROM scratch\nCOPY daemon /bin/daemon\nRUN chmod +x /bin/daemon", "img"
+        )
+        assert image.fs.entry("/bin/daemon").executable
+
+    def test_run_chmod_octal(self, builder):
+        image = builder.build(
+            "FROM scratch\nCOPY daemon /bin/daemon\nRUN chmod 600 /bin/daemon", "img"
+        )
+        assert image.fs.entry("/bin/daemon").mode == 0o600
+
+    def test_run_echo_append(self, builder):
+        image = builder.build(
+            "FROM scratch\nRUN echo nameserver 10.0.0.1 >> /etc/resolv.conf", "img"
+        )
+        assert image.fs.read_file("/etc/resolv.conf") == b"nameserver 10.0.0.1\n"
+
+    def test_run_unsupported_command(self, builder):
+        with pytest.raises(BuildError, match="RUN only supports"):
+            builder.build("FROM scratch\nRUN apt-get update", "img")
+
+    def test_env(self, builder):
+        image = builder.build("FROM scratch\nENV DNS_SERVER=10.0.0.1", "img")
+        assert image.env["DNS_SERVER"] == "10.0.0.1"
+
+    def test_env_without_equals_rejected(self, builder):
+        with pytest.raises(BuildError):
+            builder.build("FROM scratch\nENV BROKEN", "img")
+
+    def test_expose(self, builder):
+        image = builder.build("FROM scratch\nEXPOSE 53/udp\nEXPOSE 80", "img")
+        assert image.exposed_ports == [53, 80]
+
+    def test_entrypoint_exec_form(self, builder):
+        image = builder.build(
+            'FROM scratch\nENTRYPOINT ["/sbin/init", "--flag"]', "img"
+        )
+        assert image.entrypoint == ["/sbin/init", "--flag"]
+
+    def test_entrypoint_shell_form(self, builder):
+        image = builder.build("FROM scratch\nENTRYPOINT /sbin/init --x", "img")
+        assert image.entrypoint == ["/sbin/init", "--x"]
+
+    def test_comments_and_blank_lines_ignored(self, builder):
+        image = builder.build(
+            "# comment\n\nFROM scratch\n# another\nEXPOSE 80\n", "img"
+        )
+        assert image.exposed_ports == [80]
+
+    def test_unknown_instruction_rejected(self, builder):
+        with pytest.raises(BuildError, match="unsupported instruction"):
+            builder.build("FROM scratch\nVOLUME /data", "img")
+
+    def test_error_reports_line_number(self, builder):
+        with pytest.raises(BuildError, match="line 3"):
+            builder.build("FROM scratch\nEXPOSE 80\nCOPY nope /x", "img")
+
+
+class TestBuildx:
+    def test_bake_builds_per_arch(self, builder):
+        images = buildx_bake(
+            builder, "FROM scratch\nCOPY daemon /d", "multi",
+            architectures=("x86_64", "arm64", "mips"),
+        )
+        assert set(images) == {"x86_64", "arm64", "mips"}
+        assert images["arm64"].reference == "multi:latest-arm64"
+        assert images["arm64"].architecture == "arm64"
+
+    def test_bake_unknown_arch_rejected(self, builder):
+        with pytest.raises(BuildError):
+            buildx_bake(builder, "FROM scratch", "multi", architectures=("sparc",))

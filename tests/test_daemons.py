@@ -1,0 +1,287 @@
+"""Behavioural tests for the vulnerable daemons (Connman / Dnsmasq
+analogues), exercised by hand-crafted protocol traffic."""
+
+import pytest
+
+from repro.binaries.connman import PHONE_HOME_NAME, make_connman_binary
+from repro.binaries.dnsmasq import make_dnsmasq_binary
+from repro.netsim.address import ALL_DHCP_RELAY_AGENTS_AND_SERVERS
+from repro.netsim.node import Node
+from repro.netsim.sockets import UdpSocket
+from repro.services import dhcp6, dns
+from repro.services.exploits import (
+    ExploitKit,
+    InfectionUrls,
+    parse_leaked_pointer,
+    slide_from_leak,
+)
+from tests.helpers import MiniNet
+
+
+def make_dev(mininet, binary, name="dev", env=None, extra_files=None):
+    daemon_path = f"/usr/sbin/{binary.name}"
+    files = {daemon_path: (binary.serialize(), 0o755)}
+    files.update(extra_files or {})
+    container, node, link = mininet.host_container(
+        name, rate_bps=300e3, files=files, env=env,
+        dhcp6_member=(binary.name == "dnsmasq"),
+    )
+    process = container.exec_run([daemon_path])
+    return container, node, process
+
+
+class TestConnmanBehaviour:
+    def attacker_socket(self, mininet):
+        node = Node(mininet.sim, "attacker-node")
+        mininet.star.attach_host(node, 10e6)
+        return UdpSocket(node, 53), node
+
+    def test_sends_periodic_queries(self):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        received = []
+
+        container, _node, _proc = make_dev(
+            mininet, make_connman_binary(), env={
+                "DNS_SERVER": str(mininet.star.address_of(attacker)),
+                "QUERY_INTERVAL": "5",
+            },
+        )
+
+        def collect():
+            for _ in range(2):
+                payload, _src = yield sock.recvfrom()
+                received.append(dns.DnsMessage.decode(payload))
+
+        from repro.netsim.process import SimProcess
+
+        SimProcess(mininet.sim, collect(), name="collect")
+        mininet.sim.run(until=30.0)
+        assert len(received) == 2
+        assert received[0].questions[0].name == PHONE_HOME_NAME
+        assert not received[0].is_response
+
+    def test_servfail_triggers_diagnostic_leak(self):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        binary = make_connman_binary(protections=("wx", "aslr"))
+        container, _node, _proc = make_dev(
+            mininet, binary, env={"DNS_SERVER": str(mininet.star.address_of(attacker))}
+        )
+        leaks = []
+
+        def serve():
+            payload, (source, port) = yield sock.recvfrom()
+            query = dns.DnsMessage.decode(payload)
+            probe = dns.DnsMessage(
+                id=query.id, flags=dns.FLAG_QR | dns.RCODE_SERVFAIL,
+                questions=list(query.questions),
+            )
+            sock.sendto(probe.encode(), source, port)
+            diagnostic, _src = yield sock.recvfrom()
+            leaks.append(parse_leaked_pointer(diagnostic))
+
+        from repro.netsim.process import SimProcess
+
+        SimProcess(mininet.sim, serve(), name="serve")
+        mininet.sim.run(until=30.0)
+        assert leaks and leaks[0] is not None
+        # The leak is page-offset-consistent with the static address.
+        assert (leaks[0] - binary.text_base - 0x1234) % 0x1000 == 0
+
+    def _exploit_flow(self, protections, vulnerable=True):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        binary = make_connman_binary(protections=protections, vulnerable=vulnerable)
+        urls = InfectionUrls(file_server_host=str(mininet.star.address_of(attacker)))
+        kit = ExploitKit(binary, urls)
+        container, _node, process = make_dev(
+            mininet, binary, env={"DNS_SERVER": str(mininet.star.address_of(attacker))}
+        )
+
+        def serve():
+            payload, (source, port) = yield sock.recvfrom()
+            query = dns.DnsMessage.decode(payload)
+            probe = dns.DnsMessage(
+                id=query.id, flags=dns.FLAG_QR | dns.RCODE_SERVFAIL,
+                questions=list(query.questions),
+            )
+            sock.sendto(probe.encode(), source, port)
+            diagnostic, _src = yield sock.recvfrom()
+            slide = slide_from_leak(binary, parse_leaked_pointer(diagnostic))
+            payload2, (source, port) = yield sock.recvfrom()
+            query2 = dns.DnsMessage.decode(payload2)
+            answer = dns.DnsResourceRecord(
+                query2.questions[0].name, dns.TYPE_TXT, kit.rop_payload(slide)
+            )
+            sock.sendto(dns.make_response(query2, [answer]).encode(), source, port)
+
+        from repro.netsim.process import SimProcess
+
+        SimProcess(mininet.sim, serve(), name="serve")
+        mininet.sim.run(until=60.0)
+        return container, process
+
+    @pytest.mark.parametrize(
+        "protections", [(), ("wx",), ("aslr",), ("wx", "aslr")]
+    )
+    def test_exploit_spawns_shell_under_any_protections(self, protections):
+        container, daemon = self._exploit_flow(protections)
+        # The daemon execlp'd into the infection one-liner: it exited and
+        # a shell process ran in its place (it fails at curl since no file
+        # server is up, but the hijack itself succeeded).
+        assert daemon.exited
+        assert any("hijack" in line for line in container.logs)
+
+    def test_patched_binary_survives_exploit(self):
+        container, daemon = self._exploit_flow(("wx",), vulnerable=False)
+        assert not daemon.exited
+        assert not any("hijack" in line for line in container.logs)
+
+    def test_patched_version_number_forces_fix(self):
+        binary = make_connman_binary(version="1.35")
+        assert not binary.vulnerable
+
+    def test_idles_without_dns_server(self):
+        mininet = MiniNet()
+        container, _node, process = make_dev(mininet, make_connman_binary())
+        mininet.sim.run(until=5.0)
+        assert process.exited  # logged and quit
+
+
+class TestDnsmasqBehaviour:
+    def attacker_socket(self, mininet):
+        node = Node(mininet.sim, "attacker-node")
+        mininet.star.attach_host(node, 10e6)
+        return UdpSocket(node), node
+
+    def test_answers_solicit_with_advertise(self):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        container, dev_node, _proc = make_dev(mininet, make_dnsmasq_binary())
+        replies = []
+
+        def client():
+            solicit = dhcp6.Dhcp6Message(dhcp6.MSG_SOLICIT, transaction_id=9)
+            sock.sendto(
+                solicit.encode(),
+                mininet.star.address_of(dev_node),
+                dhcp6.SERVER_PORT,
+            )
+            payload, _src = yield sock.recvfrom()
+            replies.append(dhcp6.Dhcp6Message.decode(payload))
+
+        from repro.netsim.process import SimProcess
+
+        SimProcess(mininet.sim, client(), name="client")
+        mininet.sim.run(until=10.0)
+        assert replies and replies[0].msg_type == dhcp6.MSG_ADVERTISE
+        assert replies[0].transaction_id == 9
+
+    def test_information_request_leaks_pointer(self):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        binary = make_dnsmasq_binary(protections=("aslr",))
+        container, dev_node, _proc = make_dev(mininet, binary)
+        leaks = []
+
+        def client():
+            probe = dhcp6.Dhcp6Message(dhcp6.MSG_INFORMATION_REQUEST, transaction_id=1)
+            sock.sendto(
+                probe.encode(),
+                mininet.star.address_of(dev_node),
+                dhcp6.SERVER_PORT,
+            )
+            payload, _src = yield sock.recvfrom()
+            reply = dhcp6.Dhcp6Message.decode(payload)
+            leaks.append(
+                parse_leaked_pointer(reply.option(dhcp6.OPTION_STATUS_CODE).data)
+            )
+
+        from repro.netsim.process import SimProcess
+
+        SimProcess(mininet.sim, client(), name="client")
+        mininet.sim.run(until=10.0)
+        assert leaks and leaks[0] is not None
+
+    def test_multicast_probe_reaches_daemon(self):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        container, dev_node, _proc = make_dev(mininet, make_dnsmasq_binary())
+        replies = []
+
+        def client():
+            probe = dhcp6.Dhcp6Message(dhcp6.MSG_INFORMATION_REQUEST, transaction_id=2)
+            sock.sendto(
+                probe.encode(), ALL_DHCP_RELAY_AGENTS_AND_SERVERS, dhcp6.SERVER_PORT
+            )
+            payload, _src = yield sock.recvfrom()
+            replies.append(payload)
+
+        from repro.netsim.process import SimProcess
+
+        SimProcess(mininet.sim, client(), name="client")
+        mininet.sim.run(until=10.0)
+        assert replies
+
+    def test_relayforw_exploit_hijacks(self):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        binary = make_dnsmasq_binary()
+        urls = InfectionUrls(file_server_host=str(mininet.star.address_of(attacker)))
+        kit = ExploitKit(binary, urls)
+        container, dev_node, process = make_dev(mininet, binary)
+        victim = mininet.star.address_of(dev_node)
+        exploit = dhcp6.make_relay_forw(kit.rop_payload(0), link=victim, peer=victim)
+        mininet.sim.schedule(
+            1.0, sock.sendto, exploit.encode(), victim, dhcp6.SERVER_PORT
+        )
+        mininet.sim.run(until=10.0)
+        assert process.exited
+        assert any("hijack" in line for line in container.logs)
+
+    def test_wrong_slide_crashes_aslr_daemon_without_infection(self):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        binary = make_dnsmasq_binary(protections=("wx", "aslr"))
+        urls = InfectionUrls(file_server_host=str(mininet.star.address_of(attacker)))
+        kit = ExploitKit(binary, urls)
+        container, dev_node, process = make_dev(mininet, binary)
+        victim = mininet.star.address_of(dev_node)
+        exploit = dhcp6.make_relay_forw(kit.rop_payload(0), link=victim, peer=victim)
+        mininet.sim.schedule(
+            1.0, sock.sendto, exploit.encode(), victim, dhcp6.SERVER_PORT
+        )
+        mininet.sim.run(until=10.0)
+        assert process.exited
+        assert any("crashed" in line for line in container.logs)
+        assert not any("hijack" in line for line in container.logs)
+
+    def test_patched_daemon_ignores_relayforw(self):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        binary = make_dnsmasq_binary(vulnerable=False)
+        urls = InfectionUrls(file_server_host=str(mininet.star.address_of(attacker)))
+        kit = ExploitKit(make_dnsmasq_binary(), urls)
+        container, dev_node, process = make_dev(mininet, binary)
+        victim = mininet.star.address_of(dev_node)
+        exploit = dhcp6.make_relay_forw(kit.rop_payload(0), link=victim, peer=victim)
+        mininet.sim.schedule(
+            1.0, sock.sendto, exploit.encode(), victim, dhcp6.SERVER_PORT
+        )
+        mininet.sim.run(until=10.0)
+        assert not process.exited
+
+    def test_garbage_datagram_ignored(self):
+        mininet = MiniNet()
+        sock, attacker = self.attacker_socket(mininet)
+        container, dev_node, process = make_dev(mininet, make_dnsmasq_binary())
+        mininet.sim.schedule(
+            1.0,
+            sock.sendto,
+            b"\xff\xfe garbage",
+            mininet.star.address_of(dev_node),
+            dhcp6.SERVER_PORT,
+        )
+        mininet.sim.run(until=5.0)
+        assert not process.exited

@@ -1,0 +1,169 @@
+"""Tests for the deployable defenses (policer, classifier firewall)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.defenses import ClassifierFirewall, PerSourcePolicer
+from repro.analysis.detection import LogisticRegressionClassifier
+from repro.core import DDoSim, SimulationConfig
+from repro.netsim.node import Node
+from repro.netsim.sink import PacketSink
+
+
+class TestPerSourcePolicerUnit:
+    def _setup(self, sim, star, rate_bps=80_000, burst=10_000):
+        sender = Node(sim, "sender")
+        victim = Node(sim, "victim")
+        star.attach_host(sender, 10e6)
+        star.attach_host(victim, 10e6)
+        sink = PacketSink(victim)
+        sink.start()
+        policer = PerSourcePolicer(victim, rate_bps=rate_bps, burst_bytes=burst)
+        policer.install()
+        return sender, victim, sink, policer
+
+    def test_conforming_traffic_passes(self, sim, star):
+        sender, victim, sink, policer = self._setup(sim, star)
+        # 10 packets of 500 B over 10 s = 4 kbps << 80 kbps budget.
+        for index in range(10):
+            sim.schedule(
+                index * 1.0,
+                sender.udp.send_datagram,
+                None, star.address_of(victim), 7, 9, 500,
+            )
+        sim.run(until=20.0)
+        assert sink.total_packets == 10
+        assert policer.dropped_packets == 0
+
+    def test_flood_is_policed(self, sim, star):
+        sender, victim, sink, policer = self._setup(sim, star)
+        # 2 Mbps offered against an 80 kbps per-source budget.
+        for index in range(500):
+            sim.schedule(
+                index * 0.002,
+                sender.udp.send_datagram,
+                None, star.address_of(victim), 7, 9, 500,
+            )
+        sim.run(until=5.0)
+        assert policer.dropped_packets > 300
+        assert policer.drop_ratio > 0.6
+        assert sink.total_packets < 200
+
+    def test_budget_is_per_source(self, sim, star):
+        sender_a = Node(sim, "a")
+        sender_b = Node(sim, "b")
+        victim = Node(sim, "victim")
+        for node in (sender_a, sender_b, victim):
+            star.attach_host(node, 10e6)
+        sink = PacketSink(victim)
+        sink.start()
+        policer = PerSourcePolicer(victim, rate_bps=80_000, burst_bytes=4_000)
+        policer.install()
+        # A floods; B sends one small packet and must get through.
+        for index in range(200):
+            sim.schedule(
+                index * 0.001,
+                sender_a.udp.send_datagram,
+                None, star.address_of(victim), 7, 9, 500,
+            )
+        sim.schedule(
+            0.15, sender_b.udp.send_datagram,
+            None, star.address_of(victim), 7, 9, 200,
+        )
+        sim.run(until=2.0)
+        victim_sources = {str(source) for source, _port in sink.per_source}
+        assert str(star.address_of(sender_b)) in victim_sources
+
+    def test_uninstall_restores_sink(self, sim, star):
+        sender, victim, sink, policer = self._setup(sim, star, rate_bps=1_000,
+                                                    burst=1_000)
+        policer.uninstall()
+        for _ in range(5):
+            sender.udp.send_datagram(
+                None, star.address_of(victim), 7, src_port=9, payload_size=900
+            )
+        sim.run(until=2.0)
+        assert sink.total_packets == 5
+
+    def test_invalid_parameters(self, sim, star):
+        victim = Node(sim, "victim")
+        star.attach_host(victim, 1e6)
+        with pytest.raises(ValueError):
+            PerSourcePolicer(victim, rate_bps=0)
+
+
+class TestPolicerAgainstRealAttack:
+    def test_policer_collapses_accepted_attack_volume(self):
+        """Full-stack mitigation check: same botnet, with and without."""
+        config = SimulationConfig(
+            n_devs=10, seed=6, attack_duration=20.0,
+            recruit_timeout=40.0, sim_duration=200.0,
+        )
+        undefended = DDoSim(config).run()
+
+        defended_sim = DDoSim(config)
+        policer = PerSourcePolicer(
+            defended_sim.tserver.node, rate_bps=32_000, burst_bytes=8_000
+        )
+        defended_sim.build()
+        # Install after the sink starts (run() starts the sink; schedule
+        # the interposition just after t=0).
+        defended_sim.sim.schedule(0.01, policer.install)
+        defended = defended_sim.run()
+
+        accepted = defended_sim.tserver.sink.total_bytes
+        assert undefended.attack.received_bytes > 0
+        assert accepted < undefended.attack.received_bytes * 0.35
+        assert policer.dropped_packets > 0
+
+
+class TestClassifierFirewall:
+    def test_blocks_after_detected_window(self, sim, star):
+        sender = Node(sim, "sender")
+        victim = Node(sim, "victim")
+        star.attach_host(sender, 10e6)
+        star.attach_host(victim, 10e6)
+        sink = PacketSink(victim)
+        sink.start()
+
+        class AlwaysAttack:
+            def predict(self, X):
+                return np.array([1])
+
+        firewall = ClassifierFirewall(victim, AlwaysAttack(), window=1.0)
+        firewall.install()
+        for index in range(40):
+            sim.schedule(
+                index * 0.1,
+                sender.udp.send_datagram,
+                None, star.address_of(victim), 7, 9, 500,
+            )
+        sim.run(until=5.0)
+        # First window passes (no verdict yet), later windows are blocked.
+        assert firewall.windows_blocked >= 2
+        assert firewall.packets_dropped > 0
+        assert sink.total_packets < 40
+
+    def test_benign_verdict_keeps_traffic_flowing(self, sim, star):
+        sender = Node(sim, "sender")
+        victim = Node(sim, "victim")
+        star.attach_host(sender, 10e6)
+        star.attach_host(victim, 10e6)
+        sink = PacketSink(victim)
+        sink.start()
+
+        class AlwaysBenign:
+            def predict(self, X):
+                return np.array([0])
+
+        firewall = ClassifierFirewall(victim, AlwaysBenign(), window=1.0)
+        firewall.install()
+        for index in range(20):
+            sim.schedule(
+                index * 0.2,
+                sender.udp.send_datagram,
+                None, star.address_of(victim), 7, 9, 500,
+            )
+        sim.run(until=6.0)
+        assert sink.total_packets == 20
+        assert firewall.packets_dropped == 0

@@ -1,0 +1,98 @@
+"""Unit + property tests for the DHCPv6 wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.address import Ipv6Address
+from repro.services.dhcp6 import (
+    Dhcp6DecodeError,
+    Dhcp6Message,
+    Dhcp6Option,
+    MSG_ADVERTISE,
+    MSG_INFORMATION_REQUEST,
+    MSG_RELAY_FORW,
+    MSG_REPLY,
+    MSG_SOLICIT,
+    OPTION_RELAY_MSG,
+    OPTION_SERVERID,
+    OPTION_STATUS_CODE,
+    make_relay_forw,
+)
+
+
+class TestClientServerMessages:
+    def test_solicit_roundtrip(self):
+        message = Dhcp6Message(
+            MSG_SOLICIT,
+            transaction_id=0xABCDEF,
+            options=[Dhcp6Option(OPTION_SERVERID, b"server-1")],
+        )
+        decoded = Dhcp6Message.decode(message.encode())
+        assert decoded.msg_type == MSG_SOLICIT
+        assert decoded.transaction_id == 0xABCDEF
+        assert decoded.option(OPTION_SERVERID).data == b"server-1"
+
+    def test_information_request_roundtrip(self):
+        message = Dhcp6Message(MSG_INFORMATION_REQUEST, transaction_id=0x51)
+        decoded = Dhcp6Message.decode(message.encode())
+        assert decoded.msg_type == MSG_INFORMATION_REQUEST
+        assert not decoded.is_relay
+
+    def test_reply_with_status(self):
+        message = Dhcp6Message(
+            MSG_REPLY,
+            transaction_id=1,
+            options=[Dhcp6Option(OPTION_STATUS_CODE, b"ptr=0x0000000000401234")],
+        )
+        decoded = Dhcp6Message.decode(message.encode())
+        assert decoded.option(OPTION_STATUS_CODE).data.startswith(b"ptr=")
+
+    def test_missing_option_is_none(self):
+        message = Dhcp6Message(MSG_ADVERTISE, transaction_id=2)
+        assert message.option(OPTION_RELAY_MSG) is None
+
+
+class TestRelayMessages:
+    def test_relay_forw_roundtrip(self):
+        link = Ipv6Address.parse("2001:db8::10")
+        peer = Ipv6Address.parse("fe80::1")
+        message = make_relay_forw(b"\x41" * 150, link=link, peer=peer, hop_count=3)
+        decoded = Dhcp6Message.decode(message.encode())
+        assert decoded.msg_type == MSG_RELAY_FORW
+        assert decoded.is_relay
+        assert decoded.hop_count == 3
+        assert decoded.link_address == link
+        assert decoded.peer_address == peer
+        assert decoded.option(OPTION_RELAY_MSG).data == b"\x41" * 150
+
+    def test_relay_carries_arbitrary_binary_payload(self):
+        payload = bytes(range(256))
+        message = make_relay_forw(payload, Ipv6Address(1), Ipv6Address(2))
+        decoded = Dhcp6Message.decode(message.encode())
+        assert decoded.option(OPTION_RELAY_MSG).data == payload
+
+    @pytest.mark.parametrize(
+        "blob",
+        [
+            b"",
+            b"\x0c\x00short",                 # relay header truncated
+            b"\x01\x00",                       # non-relay too short
+        ],
+    )
+    def test_malformed_rejected(self, blob):
+        with pytest.raises(Dhcp6DecodeError):
+            Dhcp6Message.decode(blob)
+
+    def test_truncated_option_rejected(self):
+        message = make_relay_forw(b"ABCDEF", Ipv6Address(1), Ipv6Address(2))
+        with pytest.raises(Dhcp6DecodeError):
+            Dhcp6Message.decode(message.encode()[:-3])
+
+    @given(st.binary(max_size=400), st.integers(min_value=0, max_value=255))
+    def test_relay_payload_roundtrip_property(self, payload, hops):
+        message = make_relay_forw(
+            payload, Ipv6Address(0x2001 << 112), Ipv6Address(5), hop_count=hops
+        )
+        decoded = Dhcp6Message.decode(message.encode())
+        assert decoded.option(OPTION_RELAY_MSG).data == payload
+        assert decoded.hop_count == hops

@@ -1,0 +1,93 @@
+"""Tests for the table/figure sweep runners on tiny grids."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.experiment import (
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_recruitment,
+    run_table1,
+)
+
+
+def tiny_base():
+    return SimulationConfig(
+        n_devs=2,
+        seed=1,
+        attack_duration=10.0,
+        recruit_timeout=30.0,
+        sim_duration=120.0,
+    )
+
+
+class TestFigure2Runner:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure2(
+            devs_grid=(3, 6), churn_modes=("none", "static"),
+            base_config=tiny_base(),
+        )
+
+    def test_grid_coverage(self, rows):
+        assert len(rows) == 4
+        assert {(row["churn"], row["n_devs"]) for row in rows} == {
+            ("none", 3), ("none", 6), ("static", 3), ("static", 6),
+        }
+
+    def test_rate_grows_with_devices(self, rows):
+        by_key = {(row["churn"], row["n_devs"]): row for row in rows}
+        assert (
+            by_key[("none", 6)]["avg_received_kbps"]
+            > by_key[("none", 3)]["avg_received_kbps"]
+        )
+
+    def test_no_churn_at_least_matches_static(self, rows):
+        by_key = {(row["churn"], row["n_devs"]): row for row in rows}
+        for n in (3, 6):
+            assert (
+                by_key[("none", n)]["avg_received_kbps"]
+                >= by_key[("static", n)]["avg_received_kbps"]
+            )
+
+
+class TestFigure3Runner:
+    def test_duration_sweep_shape(self):
+        rows = run_figure3(
+            devs_grid=(3,), durations=(8.0, 16.0), base_config=tiny_base()
+        )
+        assert len(rows) == 2
+        short, long = rows
+        # Total received volume grows with duration (the Figure 3 claim is
+        # about magnitude growth with attack length).
+        assert long["received_mbit_total"] > short["received_mbit_total"]
+
+
+class TestTable1Runner:
+    def test_rows_and_monotonicity(self):
+        rows = run_table1(devs_grid=(2, 5), base_config=tiny_base())
+        assert [row["n_devs"] for row in rows] == [2, 5]
+        assert rows[1]["pre_attack_mem_gb"] > rows[0]["pre_attack_mem_gb"]
+        assert rows[1]["attack_mem_gb"] >= rows[1]["pre_attack_mem_gb"]
+        for row in rows:
+            minutes, seconds = row["attack_time"].split(":")
+            assert int(minutes) * 60 + int(seconds) > 10  # > attack duration
+
+
+class TestFigure4Runner:
+    def test_divergence_reported(self):
+        rows = run_figure4(devs_grid=(2,), attack_duration=10.0,
+                           base_config=tiny_base())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["hardware_kbps"] > 0
+        assert row["ddosim_kbps"] > 0
+        assert row["relative_divergence"] < 0.5
+
+
+class TestRecruitmentRunner:
+    def test_hundred_percent_everywhere(self):
+        rows = run_recruitment(n_devs=2, base_config=tiny_base())
+        assert len(rows) == 8  # 2 binaries x 4 protection profiles
+        assert all(row["infection_rate"] == 1.0 for row in rows)

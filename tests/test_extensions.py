@@ -1,0 +1,108 @@
+"""Tests for the extension features: shell redirection, backdoor
+planting, and insight extraction."""
+
+import pytest
+
+from repro.core import DDoSim, SimulationConfig
+from repro.core.insights import extract_insights
+from repro.services.exploits import InfectionUrls, infection_script
+from tests.helpers import MiniNet
+from tests.test_shell import run_shell
+
+
+class TestShellRedirection:
+    @pytest.fixture
+    def box(self):
+        mininet = MiniNet()
+        container, _node, _link = mininet.host_container("box", rate_bps=10e6)
+        return mininet, container
+
+    def test_truncating_redirect(self, box):
+        mininet, container = box
+        run_shell(mininet, container, "echo hello > /tmp/out")
+        assert container.fs.read_file("/tmp/out") == b"hello\n"
+        run_shell(mininet, container, "echo replaced > /tmp/out")
+        assert container.fs.read_file("/tmp/out") == b"replaced\n"
+
+    def test_appending_redirect(self, box):
+        mininet, container = box
+        run_shell(mininet, container, "echo one >> /tmp/log")
+        run_shell(mininet, container, "echo two >> /tmp/log")
+        assert container.fs.read_file("/tmp/log") == b"one\ntwo\n"
+
+    def test_pipeline_output_redirects(self, box):
+        mininet, container = box
+        run_shell(mininet, container, "echo echo nested | sh > /tmp/out")
+        assert container.fs.read_file("/tmp/out") == b"nested\n"
+
+    def test_redirect_without_command_rejected(self, box):
+        mininet, container = box
+        from repro.binaries.shell import ShellError
+
+        with pytest.raises(ShellError):
+            run_shell(mininet, container, "> /tmp/x")
+
+    def test_redirected_line_produces_no_stdout(self, box):
+        mininet, container = box
+        out = run_shell(mininet, container, "echo silent > /tmp/f")
+        assert out == b""
+
+
+class TestBackdoorPlanting:
+    def test_script_contains_credentials_when_enabled(self):
+        urls = InfectionUrls(file_server_host="10.0.0.1")
+        script = infection_script(urls, "10.0.0.1", 23, plant_backdoor=True)
+        assert "echo root:xc3511 >> /etc/passwd" in script
+        plain = infection_script(urls, "10.0.0.1", 23)
+        assert "/etc/passwd" not in plain
+
+    def test_backdoor_lands_on_compromised_devs(self):
+        config = SimulationConfig(
+            n_devs=3, seed=12, attack_duration=10.0,
+            recruit_timeout=30.0, sim_duration=120.0,
+            plant_backdoor=True,
+        )
+        ddosim = DDoSim(config)
+        result = ddosim.run()
+        assert result.recruitment.infection_rate == 1.0
+        for dev in ddosim.devs.devs:
+            passwd = dev.container.fs.read_file("/etc/passwd")
+            assert b"root:xc3511" in passwd
+
+
+class TestInsights:
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = SimulationConfig(
+            n_devs=6, seed=3, attack_duration=15.0,
+            recruit_timeout=30.0, sim_duration=150.0,
+        )
+        ddosim = DDoSim(config)
+        result = ddosim.run()
+        return ddosim, result
+
+    def test_curl_dependency_detected(self, run):
+        ddosim, result = run
+        insights = extract_insights(ddosim, result)
+        assert insights.tooling_used == ["curl"]
+        assert insights.curl_dependent
+
+    def test_bandwidth_leverage_near_one(self, run):
+        """Unsaturated fleet: attack magnitude tracks uplink nearly 1:1 —
+        the data-rate insight."""
+        ddosim, result = run
+        insights = extract_insights(ddosim, result)
+        assert 0.7 < insights.bandwidth_leverage <= 1.05
+
+    def test_monoculture_measured(self, run):
+        ddosim, result = run
+        insights = extract_insights(ddosim, result)
+        assert 0.0 < insights.monoculture_share <= 1.0
+        assert sum(insights.fleet_composition.values()) == 6
+
+    def test_report_text(self, run):
+        ddosim, result = run
+        text = extract_insights(ddosim, result).report()
+        assert "insights" in text
+        assert "curl" in text
+        assert "monoculture" in text

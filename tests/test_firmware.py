@@ -1,0 +1,143 @@
+"""Tests for the Firmadyne/QEMU full-firmware emulation mode."""
+
+import pytest
+
+from repro.core import DDoSim, SimulationConfig
+from repro.firmware.image import DEFAULT_GUEST_RAM, build_firmware
+from repro.firmware.qemu import BOOT_STAGES, QemuSystem
+from repro.netsim.node import Node
+from tests.helpers import MiniNet
+
+
+class TestFirmwareImages:
+    def test_dnsmasq_firmware_contents(self):
+        firmware = build_firmware("dnsmasq")
+        assert firmware.metadata.vendor == "Netgear"
+        for path in ("/bin/sh", "/usr/sbin/dnsmasq", "/usr/sbin/telnetd",
+                     "/www/index.html", "/etc/passwd", "/lib/libc.so.0"):
+            assert firmware.rootfs.exists(path)
+        assert firmware.daemon_path == "/usr/sbin/dnsmasq"
+        assert firmware.nvram["telnet_enabled"] == "1"
+
+    def test_connman_firmware_contents(self):
+        firmware = build_firmware("connman", protections=("wx", "aslr"))
+        assert firmware.daemon_path == "/usr/sbin/connmand"
+        from repro.binaries.binfmt import BinaryImage
+
+        daemon = BinaryImage.parse(firmware.rootfs.read_file(firmware.daemon_path))
+        assert daemon.protections == frozenset(("wx", "aslr"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_firmware("openwrt-ash")
+
+    def test_flash_size_is_realistic(self):
+        firmware = build_firmware("dnsmasq")
+        assert firmware.flash_size_bytes > 1_000_000  # libs + daemons
+
+    def test_patched_firmware(self):
+        firmware = build_firmware("dnsmasq", vulnerable=False)
+        from repro.binaries.binfmt import BinaryImage
+
+        daemon = BinaryImage.parse(firmware.rootfs.read_file(firmware.daemon_path))
+        assert not daemon.vulnerable
+
+
+class TestQemuSystem:
+    def _boot(self, mininet=None):
+        mininet = mininet or MiniNet()
+        node = Node(mininet.sim, "qemu-dev")
+        mininet.star.attach_host(node, 300e3)
+        system = QemuSystem(
+            mininet.runtime, build_firmware("dnsmasq"), "qemu-dev", node
+        )
+        system.start()
+        return mininet, system
+
+    def test_boot_sequence_gates_services(self):
+        mininet, system = self._boot()
+        boot_time = sum(duration for _stage, duration in BOOT_STAGES)
+        mininet.sim.run(until=boot_time - 0.5)
+        assert not system.booted
+        assert not system.container.find_processes("dnsmasq")
+        mininet.sim.run(until=boot_time + 1.0)
+        assert system.booted
+        assert system.container.find_processes("dnsmasq")
+        assert system.boot_completed_at == pytest.approx(boot_time)
+
+    def test_full_userland_running_after_boot(self):
+        mininet, system = self._boot()
+        mininet.sim.run(until=10.0)
+        names = {p.name for p in system.container.live_processes()}
+        assert {"syslogd", "watchdog", "httpd", "telnetd", "dropbear",
+                "dnsmasq"} <= names
+
+    def test_guest_ram_reserved_up_front(self):
+        mininet, system = self._boot()
+        mininet.sim.run(until=1.0)  # still booting: RAM already charged
+        assert system.memory_bytes() >= DEFAULT_GUEST_RAM
+
+    def test_management_ui_served(self):
+        mininet, system = self._boot()
+        client, _n, _ = mininet.host_container("client", rate_bps=10e6)
+        mininet.sim.run(until=10.0)
+        from repro.netsim.process import SimProcess
+        from repro.services.http import http_get
+
+        pages = []
+
+        def fetch():
+            response = yield from http_get(
+                client.netns, mininet.star.address_of(system.node), 80, "/index.html"
+            )
+            pages.append(response)
+
+        SimProcess(mininet.sim, fetch(), name="fetch")
+        mininet.sim.run(until=20.0)
+        assert pages and b"management" in pages[0].body
+
+    def test_nvram_exposed_via_environment(self):
+        mininet, system = self._boot()
+        assert system.container.env["NVRAM_LAN_IPADDR"] == "192.168.1.1"
+
+
+class TestFirmwareFleetEndToEnd:
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = SimulationConfig(
+            n_devs=5, seed=4, attack_duration=15.0,
+            recruit_timeout=60.0, sim_duration=250.0,
+            dev_emulation="firmware",
+        )
+        ddosim = DDoSim(config)
+        result = ddosim.run()
+        return ddosim, result
+
+    def test_recruitment_identical_to_container_mode(self, run):
+        _ddosim, result = run
+        assert result.recruitment.infection_rate == 1.0
+
+    def test_recruitment_starts_after_boot(self, run):
+        _ddosim, result = run
+        boot_time = sum(duration for _stage, duration in BOOT_STAGES)
+        assert result.recruitment.first_bot_time > boot_time
+
+    def test_firmware_fleet_memory_dwarfs_container_mode(self, run):
+        ddosim, _result = run
+        firmware_memory = ddosim.runtime.total_memory_bytes()
+        container_config = SimulationConfig(
+            n_devs=5, seed=4, attack_duration=15.0,
+            recruit_timeout=60.0, sim_duration=250.0,
+        )
+        container_sim = DDoSim(container_config)
+        container_sim.run()
+        assert firmware_memory > 5 * container_sim.runtime.total_memory_bytes()
+
+    def test_qemu_systems_tracked(self, run):
+        ddosim, _result = run
+        assert len(ddosim.devs.qemu_systems) == 5
+        assert all(system.booted for system in ddosim.devs.qemu_systems)
+
+    def test_invalid_emulation_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_devs=2, dev_emulation="bare-metal")

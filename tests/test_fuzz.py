@@ -1,0 +1,105 @@
+"""Fuzz tests: parsers and daemons must be *total* against junk input.
+
+The decoders may reject garbage (typed decode errors) but must never
+raise anything else; the vulnerable daemons must never die from random
+noise — only a correctly built exploit may take them down.  (Their
+vulnerability is an unchecked copy, not general fragility.)
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.services import dhcp6, dns
+from tests.helpers import MiniNet
+from tests.test_daemons import make_dev
+
+
+class TestDecoderTotality:
+    @given(st.binary(max_size=300))
+    def test_dns_decode_is_total(self, blob):
+        try:
+            message = dns.DnsMessage.decode(blob)
+        except dns.DnsDecodeError:
+            return
+        assert isinstance(message, dns.DnsMessage)
+
+    @given(st.binary(max_size=300))
+    def test_dhcp6_decode_is_total(self, blob):
+        try:
+            message = dhcp6.Dhcp6Message.decode(blob)
+        except dhcp6.Dhcp6DecodeError:
+            return
+        assert isinstance(message, dhcp6.Dhcp6Message)
+
+    @given(st.binary(max_size=120))
+    def test_dns_name_decode_is_total(self, blob):
+        try:
+            name, offset = dns.decode_name(blob, 0)
+        except dns.DnsDecodeError:
+            return
+        assert offset <= len(blob)
+        assert isinstance(name, str)
+
+
+def _random_payload_strategy():
+    """Junk plus protocol-shaped junk (right msg-type byte, bad rest)."""
+    raw = st.binary(min_size=1, max_size=200)
+    typed = st.binary(min_size=0, max_size=200).map(
+        lambda tail: bytes([12]) + tail  # RELAY-FORW-shaped
+    )
+    return st.one_of(raw, typed)
+
+
+class TestDaemonRobustness:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(_random_payload_strategy(), min_size=1, max_size=5))
+    def test_dnsmasq_survives_garbage(self, payloads):
+        from repro.binaries.dnsmasq import make_dnsmasq_binary
+        from repro.netsim.node import Node
+        from repro.netsim.sockets import UdpSocket
+
+        mininet = MiniNet()
+        _container, dev_node, process = make_dev(
+            mininet, make_dnsmasq_binary(), name="fuzzdev"
+        )
+        attacker = Node(mininet.sim, "fuzzer")
+        mininet.star.attach_host(attacker, 10e6)
+        sock = UdpSocket(attacker)
+        for index, payload in enumerate(payloads):
+            mininet.sim.schedule(
+                0.5 + index * 0.1,
+                sock.sendto,
+                payload,
+                mininet.star.address_of(dev_node),
+                547,
+            )
+        mininet.sim.run(until=10.0)
+        assert not process.exited, f"daemon died on junk: {payloads!r}"
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.binary(min_size=1, max_size=200))
+    def test_connman_survives_garbage_responses(self, payload):
+        from repro.binaries.connman import make_connman_binary
+        from repro.netsim.node import Node
+        from repro.netsim.process import SimProcess
+        from repro.netsim.sockets import UdpSocket
+
+        mininet = MiniNet()
+        attacker = Node(mininet.sim, "fuzzer")
+        mininet.star.attach_host(attacker, 10e6)
+        sock = UdpSocket(attacker, 53)
+        _container, _dev_node, process = make_dev(
+            mininet,
+            make_connman_binary(),
+            name="fuzzdev",
+            env={"DNS_SERVER": str(mininet.star.address_of(attacker))},
+        )
+
+        def respond_with_junk():
+            _query, (source, port) = yield sock.recvfrom()
+            sock.sendto(payload, source, port)
+
+        SimProcess(mininet.sim, respond_with_junk(), name="junk-server")
+        mininet.sim.run(until=15.0)
+        assert not process.exited, f"daemon died on junk response: {payload!r}"

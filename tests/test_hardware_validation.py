@@ -1,0 +1,61 @@
+"""Integration tests for the hardware-testbed validation path (Figure 4)."""
+
+import pytest
+
+from repro.core import DDoSim, SimulationConfig
+from repro.hardware import HardwareTestbed
+
+
+def validation_config(n_devs, seed=3):
+    return SimulationConfig(
+        n_devs=n_devs,
+        seed=seed,
+        attack_duration=20.0,
+        recruit_timeout=40.0,
+        sim_duration=150.0,
+    )
+
+
+class TestHardwareTestbedRuns:
+    def test_full_chain_works_on_wifi_fabric(self):
+        result = HardwareTestbed(validation_config(4)).run()
+        assert result.recruitment.infection_rate == 1.0
+        assert result.attack.avg_received_kbps > 0
+
+    def test_determinism(self):
+        one = HardwareTestbed(validation_config(3, seed=8)).run()
+        two = HardwareTestbed(validation_config(3, seed=8)).run()
+        assert one.attack.avg_received_kbps == two.attack.avg_received_kbps
+
+    def test_both_cves_recruit_over_wifi(self):
+        config = validation_config(6)
+        result = HardwareTestbed(config).run()
+        assert sum(result.recruitment.by_binary.values()) == 6
+
+
+class TestFigure4Agreement:
+    @pytest.mark.parametrize("n_devs", [2, 8])
+    def test_models_agree_within_tolerance(self, n_devs):
+        """The paper's validation criterion: similar received-rate from
+        the hardware testbed and from DDoSim at identical settings."""
+        config = validation_config(n_devs)
+        hardware = HardwareTestbed(config).run()
+        simulated = DDoSim(config).run()
+        assert hardware.recruitment.infection_rate == 1.0
+        assert simulated.recruitment.infection_rate == 1.0
+        divergence = abs(
+            hardware.attack.avg_received_kbps - simulated.attack.avg_received_kbps
+        ) / simulated.attack.avg_received_kbps
+        assert divergence < 0.25
+
+    def test_rates_scale_with_devices_on_both_models(self):
+        small_config = validation_config(2)
+        large_config = validation_config(8)
+        assert (
+            HardwareTestbed(large_config).run().attack.avg_received_kbps
+            > HardwareTestbed(small_config).run().attack.avg_received_kbps
+        )
+        assert (
+            DDoSim(large_config).run().attack.avg_received_kbps
+            > DDoSim(small_config).run().attack.avg_received_kbps
+        )

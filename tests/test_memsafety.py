@@ -1,0 +1,177 @@
+"""Unit + property tests for the memory-safety substrate:
+address spaces, W^X, ASLR, stack smashing."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memsafety.aslr import aslr_slide, slide_for
+from repro.memsafety.layout import (
+    AddressSpace,
+    MemoryRegion,
+    PAGE_SIZE,
+    SegmentationFault,
+    standard_process_layout,
+)
+from repro.memsafety.stack import SAVED_SLOT_SIZE, StackFrame
+
+
+class TestMemoryRegions:
+    def test_contains(self):
+        region = MemoryRegion("text", 0x400000, 0x1000)
+        assert region.contains(0x400000)
+        assert region.contains(0x400FFF)
+        assert not region.contains(0x401000)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", 0x400001, 0x1000)
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", 0x400000, 0x1001)
+
+    def test_perms_string(self):
+        assert MemoryRegion("t", 0, PAGE_SIZE, executable=True).perms() == "r-x"
+        assert MemoryRegion("d", 0, PAGE_SIZE, writable=True).perms() == "rw-"
+
+
+class TestAddressSpace:
+    def test_overlapping_regions_rejected(self):
+        space = AddressSpace()
+        space.map_region(MemoryRegion("a", 0x1000, 0x2000))
+        with pytest.raises(ValueError):
+            space.map_region(MemoryRegion("b", 0x2000, 0x2000))
+
+    def test_wx_enforcement_blocks_rwx(self):
+        space = AddressSpace(wx_enforced=True)
+        with pytest.raises(SegmentationFault):
+            space.map_region(
+                MemoryRegion("rwx", 0x1000, PAGE_SIZE, writable=True, executable=True)
+            )
+
+    def test_no_wx_allows_rwx(self):
+        space = AddressSpace(wx_enforced=False)
+        region = space.map_region(
+            MemoryRegion("rwx", 0x1000, PAGE_SIZE, writable=True, executable=True)
+        )
+        assert region.writable and region.executable
+
+    def test_execute_check(self):
+        space = standard_process_layout(0x400000)
+        assert space.check_execute(0x400100).name == "text"
+        with pytest.raises(SegmentationFault, match="non-executable"):
+            space.check_execute(0x5555_0000_0100)  # heap
+        with pytest.raises(SegmentationFault, match="unmapped"):
+            space.check_execute(0xDEAD_0000_0000)
+
+    def test_write_check(self):
+        space = standard_process_layout(0x400000)
+        heap = space.region_named("heap")
+        assert space.check_write(heap.base).name == "heap"
+        with pytest.raises(SegmentationFault, match="read-only"):
+            space.check_write(0x400100)
+
+    def test_stack_executable_only_without_wx(self):
+        hardened = standard_process_layout(0x400000, wx_enforced=True)
+        legacy = standard_process_layout(0x400000, wx_enforced=False)
+        assert not hardened.region_named("stack").executable
+        assert legacy.region_named("stack").executable
+
+    def test_maps_output(self):
+        space = standard_process_layout(0x400000)
+        maps = space.maps()
+        assert "text" in maps and "stack" in maps
+        assert "r-x" in maps
+
+    def test_region_named_missing(self):
+        with pytest.raises(KeyError):
+            AddressSpace().region_named("nope")
+
+
+class TestAslr:
+    def test_slide_is_page_aligned_and_nonzero(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            slide = aslr_slide(rng)
+            assert slide % PAGE_SIZE == 0
+            assert slide != 0
+
+    def test_slide_for_disabled_is_zero(self):
+        assert slide_for(False, random.Random(1)) == 0
+
+    def test_slide_deterministic_per_seed(self):
+        assert aslr_slide(random.Random(9)) == aslr_slide(random.Random(9))
+
+    def test_slides_vary_across_draws(self):
+        rng = random.Random(2)
+        assert len({aslr_slide(rng) for _ in range(10)}) == 10
+
+
+class TestStackFrame:
+    def make_frame(self, size=64):
+        return StackFrame("parse", size, return_address=0x401234)
+
+    def test_checked_copy_truncates(self):
+        frame = self.make_frame()
+        copied = frame.copy_checked(b"A" * 200)
+        assert copied == 64
+        assert not frame.hijacked
+
+    def test_in_bounds_copy_is_benign(self):
+        frame = self.make_frame()
+        event = frame.copy_unchecked(b"B" * 64)
+        assert not event.overflowed
+        assert not frame.hijacked
+        assert frame.return_address == frame.legitimate_return_address
+
+    def test_full_overflow_controls_return_address(self):
+        frame = self.make_frame()
+        payload = (
+            b"A" * 64
+            + (0x4242424242424242).to_bytes(8, "little")
+            + (0xDEADBEEF).to_bytes(8, "little")
+            + b"SPILLDATA"
+        )
+        event = frame.copy_unchecked(payload)
+        assert event.ret_overwritten
+        assert frame.hijacked
+        assert frame.return_address == 0xDEADBEEF
+        assert event.spill == b"SPILLDATA"
+        assert frame.saved_rbp == 0x4242424242424242
+
+    def test_partial_rbp_overwrite_corrupts(self):
+        frame = self.make_frame()
+        event = frame.copy_unchecked(b"A" * 64 + b"\xff\xff")
+        assert event.rbp_overwritten
+        assert not event.ret_overwritten
+        assert not frame.hijacked  # return address untouched
+
+    def test_partial_ret_overwrite_corrupts_but_not_controlled(self):
+        frame = self.make_frame()
+        payload = b"A" * 64 + b"B" * 8 + b"\x01\x02"  # 2 of 8 ret bytes
+        event = frame.copy_unchecked(payload)
+        assert not event.ret_overwritten
+        assert event.new_return_address is None
+        assert frame.return_address != frame.legitimate_return_address
+
+    def test_zero_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            StackFrame("f", 0, return_address=1)
+
+    @given(st.binary(max_size=300), st.integers(min_value=8, max_value=128))
+    def test_overflow_geometry_property(self, data, size):
+        """The frame slices overflow bytes exactly: buffer, rbp slot,
+        ret slot, spill."""
+        frame = StackFrame("f", size, return_address=0x400000)
+        event = frame.copy_unchecked(data)
+        assert event.copied == len(data)
+        assert event.overflowed == (len(data) > size)
+        overflow = data[size:]
+        assert event.rbp_overwritten == (len(overflow) > 0)
+        assert event.ret_overwritten == (len(overflow) >= 2 * SAVED_SLOT_SIZE)
+        assert event.spill == overflow[2 * SAVED_SLOT_SIZE:]
+        if event.ret_overwritten:
+            expected = int.from_bytes(
+                overflow[SAVED_SLOT_SIZE: 2 * SAVED_SLOT_SIZE], "little"
+            )
+            assert frame.return_address == expected

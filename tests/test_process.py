@@ -1,0 +1,193 @@
+"""Unit tests for coroutine processes, futures and combinators."""
+
+import pytest
+
+from repro.netsim.process import (
+    AllOf,
+    AnyOf,
+    ProcessKilled,
+    SimFuture,
+    SimProcess,
+    Timeout,
+)
+from tests.conftest import drive
+
+
+class TestSimFuture:
+    def test_succeed_delivers_value(self, sim):
+        future = SimFuture(sim)
+        seen = []
+        future.add_callback(lambda f: seen.append(f.value))
+        future.succeed(42)
+        assert seen == [42]
+        assert future.ok
+
+    def test_callback_after_resolution_fires_immediately(self, sim):
+        future = SimFuture(sim)
+        future.succeed("done")
+        seen = []
+        future.add_callback(lambda f: seen.append(f.value))
+        assert seen == ["done"]
+
+    def test_fail_records_error(self, sim):
+        future = SimFuture(sim)
+        future.fail(ValueError("bad"))
+        assert future.done and not future.ok
+        assert isinstance(future.error, ValueError)
+
+    def test_double_resolution_rejected(self, sim):
+        future = SimFuture(sim)
+        future.succeed(1)
+        with pytest.raises(RuntimeError):
+            future.succeed(2)
+
+
+class TestTimeout:
+    def test_timeout_fires_after_delay(self, sim):
+        timeout = Timeout(sim, 3.0, value="ping")
+        sim.run()
+        assert timeout.ok
+        assert timeout.value == "ping"
+        assert sim.now == 3.0
+
+    def test_cancelled_timeout_never_fires(self, sim):
+        timeout = Timeout(sim, 3.0)
+        timeout.cancel()
+        sim.run()
+        assert not timeout.done
+
+
+class TestSimProcess:
+    def test_returns_generator_value(self, sim):
+        def worker():
+            yield Timeout(sim, 1.0)
+            return "result"
+
+        assert drive(sim, worker()) == "result"
+
+    def test_receives_future_values(self, sim):
+        def worker():
+            value = yield Timeout(sim, 1.0, value=10)
+            return value * 2
+
+        assert drive(sim, worker()) == 20
+
+    def test_sequential_timeouts_advance_clock(self, sim):
+        def worker():
+            yield Timeout(sim, 1.0)
+            yield Timeout(sim, 2.0)
+            return sim.now
+
+        assert drive(sim, worker()) == 3.0
+
+    def test_failed_future_raises_inside_generator(self, sim):
+        def worker():
+            future = SimFuture(sim)
+            sim.schedule(1.0, future.fail, RuntimeError("boom"))
+            try:
+                yield future
+            except RuntimeError as error:
+                return f"caught {error}"
+
+        assert drive(sim, worker()) == "caught boom"
+
+    def test_uncaught_exception_fails_process(self, sim):
+        def worker():
+            yield Timeout(sim, 1.0)
+            raise KeyError("oops")
+
+        process = SimProcess(sim, worker())
+        sim.run()
+        assert process.done
+        assert isinstance(process.error, KeyError)
+
+    def test_yielding_non_future_is_an_error(self, sim):
+        def worker():
+            yield 42
+
+        process = SimProcess(sim, worker())
+        sim.run()
+        assert isinstance(process.error, TypeError)
+
+    def test_kill_raises_processkilled(self, sim):
+        cleaned = []
+
+        def worker():
+            try:
+                yield Timeout(sim, 100.0)
+            finally:
+                cleaned.append(True)
+
+        process = SimProcess(sim, worker())
+        sim.schedule(1.0, process.kill)
+        sim.run()
+        assert cleaned == [True]
+        assert isinstance(process.error, ProcessKilled)
+
+    def test_kill_after_completion_is_noop(self, sim):
+        def worker():
+            yield Timeout(sim, 1.0)
+            return "ok"
+
+        process = SimProcess(sim, worker())
+        sim.run()
+        process.kill()
+        sim.run()
+        assert process.value == "ok"
+
+    def test_process_waits_on_process(self, sim):
+        def inner():
+            yield Timeout(sim, 2.0)
+            return "inner-value"
+
+        def outer():
+            value = yield SimProcess(sim, inner())
+            return f"got {value}"
+
+        assert drive(sim, outer()) == "got inner-value"
+
+    def test_yield_from_subgenerator(self, sim):
+        def helper():
+            yield Timeout(sim, 1.0)
+            return 5
+
+        def worker():
+            value = yield from helper()
+            return value + 1
+
+        assert drive(sim, worker()) == 6
+
+
+class TestCombinators:
+    def test_allof_waits_for_every_child(self, sim):
+        futures = [Timeout(sim, t) for t in (1.0, 3.0, 2.0)]
+
+        def worker():
+            yield AllOf(sim, futures)
+            return sim.now
+
+        assert drive(sim, worker()) == 3.0
+
+    def test_allof_with_no_children_resolves_immediately(self, sim):
+        both = AllOf(sim, [])
+        assert both.done
+
+    def test_anyof_resolves_with_first_child(self, sim):
+        fast = Timeout(sim, 1.0, value="fast")
+        slow = Timeout(sim, 5.0, value="slow")
+
+        def worker():
+            winner = yield AnyOf(sim, [fast, slow])
+            return winner.value
+
+        assert drive(sim, worker()) == "fast"
+
+    def test_anyof_identifies_winner_object(self, sim):
+        fast = Timeout(sim, 1.0)
+        slow = Timeout(sim, 5.0)
+
+        def worker():
+            winner = yield AnyOf(sim, [fast, slow])
+            return winner is fast
+
+        assert drive(sim, worker()) is True

@@ -1,0 +1,69 @@
+"""Integration tests for the epidemic use case: scanner-driven spread."""
+
+import pytest
+
+from repro.analysis.epidemic import fit_si_model, run_propagation_experiment
+from repro.botnet.scanner import scan_config_json
+import json
+
+
+class TestScanConfig:
+    def test_config_json_roundtrip(self):
+        from repro.binaries.dnsmasq import make_dnsmasq_binary
+
+        blob = scan_config_json(
+            "2001:db8:0:1::", 3, 40, make_dnsmasq_binary(), "2001:db8::1",
+            probes_per_second=1.5,
+        )
+        config = json.loads(blob)
+        assert config["pool_prefix"] == "2001:db8:0:1::"
+        assert config["first"] == 3 and config["last"] == 40
+        assert config["probes_per_second"] == 1.5
+        assert config["target_binary"]["name"] == "dnsmasq"
+        assert config["urls"]["host"] == "2001:db8::1"
+
+
+class TestPropagationExperiment:
+    @pytest.fixture(scope="class")
+    def propagation(self):
+        return run_propagation_experiment(
+            n_devs=15, seed=4, duration=250.0, probes_per_second=3.0
+        )
+
+    def test_full_spread(self, propagation):
+        assert propagation.final_infected == 15
+
+    def test_curve_is_monotone_from_one(self, propagation):
+        assert propagation.infected[0] == 1  # patient zero
+        assert all(
+            b >= a for a, b in zip(propagation.infected, propagation.infected[1:])
+        )
+        assert propagation.infected[-1] == 15
+
+    def test_grid_covers_duration(self, propagation):
+        assert len(propagation.times) == int(propagation.duration) + 1
+        assert propagation.times[0] == 0.0
+
+    def test_si_fit_quality(self, propagation):
+        times, infected = propagation.as_arrays()
+        fit = fit_si_model(times, infected, population=15, i0=1)
+        assert fit.beta > 0
+        assert fit.r_squared > 0.8
+
+    def test_sparser_pool_spreads_slower(self):
+        fast = run_propagation_experiment(
+            n_devs=10, seed=6, duration=150.0, probes_per_second=3.0,
+            pool_factor=2.0,
+        )
+        slow = run_propagation_experiment(
+            n_devs=10, seed=6, duration=150.0, probes_per_second=3.0,
+            pool_factor=12.0,
+        )
+        # Compare time-to-half-infected (index where count >= 5).
+        def half_time(result):
+            for t, count in zip(result.times, result.infected):
+                if count >= 5:
+                    return t
+            return float("inf")
+
+        assert half_time(slow) > half_time(fast)

@@ -1,0 +1,78 @@
+"""Unit + property tests for drop-tail queues."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        queue = DropTailQueue(max_packets=10)
+        packets = [Packet(payload_size=i + 1) for i in range(3)]
+        for packet in packets:
+            assert queue.enqueue(packet)
+        assert [queue.dequeue() for _ in range(3)] == packets
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue().dequeue() is None
+
+    def test_overflow_drops_tail(self):
+        queue = DropTailQueue(max_packets=2)
+        assert queue.enqueue(Packet(payload_size=1))
+        assert queue.enqueue(Packet(payload_size=1))
+        assert not queue.enqueue(Packet(payload_size=1))
+        assert queue.dropped == 1
+        assert len(queue) == 2
+
+    def test_byte_capacity(self):
+        queue = DropTailQueue(max_packets=100, max_bytes=100)
+        assert queue.enqueue(Packet(payload_size=60))
+        assert not queue.enqueue(Packet(payload_size=60))
+        assert queue.dropped == 1
+
+    def test_byte_accounting(self):
+        queue = DropTailQueue()
+        queue.enqueue(Packet(payload_size=10))
+        queue.enqueue(Packet(payload_size=20))
+        assert queue.bytes_queued == 30
+        queue.dequeue()
+        assert queue.bytes_queued == 20
+
+    def test_clear_counts_losses(self):
+        queue = DropTailQueue()
+        for _ in range(4):
+            queue.enqueue(Packet(payload_size=5))
+        lost = queue.clear()
+        assert lost == 4
+        assert queue.dropped == 4
+        assert queue.empty
+        assert queue.bytes_queued == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(max_packets=0)
+
+    @given(st.lists(st.integers(min_value=1, max_value=2000), max_size=60),
+           st.integers(min_value=1, max_value=20))
+    def test_invariants_property(self, sizes, capacity):
+        """Length never exceeds capacity; enqueued == dequeued + queued +
+        dropped; byte counter matches contents."""
+        queue = DropTailQueue(max_packets=capacity)
+        dequeued = 0
+        for index, size in enumerate(sizes):
+            queue.enqueue(Packet(payload_size=size))
+            if index % 3 == 2 and queue.dequeue() is not None:
+                dequeued += 1
+            assert len(queue) <= capacity
+        assert queue.enqueued == dequeued + len(queue)
+        assert queue.enqueued + queue.dropped == len(sizes)
+        remaining_bytes = 0
+        while True:
+            packet = queue.dequeue()
+            if packet is None:
+                break
+            remaining_bytes += packet.size
+        assert queue.bytes_queued == 0
+        assert remaining_bytes >= 0

@@ -1,0 +1,189 @@
+"""Unit tests for the socket facade (UDP inbox/waiters, TCP stream helpers)."""
+
+import pytest
+
+from repro.netsim.process import SimProcess, Timeout
+from repro.netsim.sockets import SocketClosed, TcpServerSocket, TcpSocket, UdpSocket
+from tests.conftest import drive
+
+
+class TestUdpSocket:
+    def test_sendto_recvfrom_roundtrip(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        sock_b = UdpSocket(node_b, 4000)
+        sock_a = UdpSocket(node_a)
+
+        def receiver():
+            payload, (source, source_port) = yield sock_b.recvfrom()
+            return payload, source, source_port
+
+        sock_a.sendto(b"datagram", star.address_of(node_b), 4000)
+        payload, source, source_port = drive(sim, receiver())
+        assert payload == b"datagram"
+        assert source == star.address_of(node_a)
+        assert source_port == sock_a.port
+
+    def test_inbox_buffers_before_recv(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        sock_b = UdpSocket(node_b, 4000)
+        sock_a = UdpSocket(node_a)
+        for index in range(3):
+            sock_a.sendto(bytes([index]), star.address_of(node_b), 4000)
+        sim.run()
+
+        def receiver():
+            out = []
+            for _ in range(3):
+                payload, _source = yield sock_b.recvfrom()
+                out.append(payload)
+            return out
+
+        assert drive(sim, receiver()) == [b"\x00", b"\x01", b"\x02"]
+
+    def test_cancel_waiter_prevents_stale_consumption(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        sock_b = UdpSocket(node_b, 4000)
+        sock_a = UdpSocket(node_a)
+        stale = sock_b.recvfrom()
+        sock_b.cancel_waiter(stale)
+        sock_a.sendto(b"fresh", star.address_of(node_b), 4000)
+        sim.run()
+        assert not stale.done
+
+        def receiver():
+            payload, _ = yield sock_b.recvfrom()
+            return payload
+
+        assert drive(sim, receiver()) == b"fresh"
+
+    def test_close_unbinds_and_fails_waiters(self, sim, two_hosts):
+        _, node_b, _ = two_hosts
+        sock = UdpSocket(node_b, 4000)
+        pending = sock.recvfrom()
+        sock.close()
+        assert pending.done and isinstance(pending.error, SocketClosed)
+        UdpSocket(node_b, 4000)  # port is free again
+
+    def test_send_on_closed_socket_raises(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        sock = UdpSocket(node_a)
+        sock.close()
+        with pytest.raises(SocketClosed):
+            sock.sendto(b"x", star.address_of(node_b), 1)
+
+    def test_virtual_payload_send(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        sock_b = UdpSocket(node_b, 4000)
+        UdpSocket(node_a, 5555).sendto(
+            None, star.address_of(node_b), 4000, payload_size=256
+        )
+
+        def receiver():
+            payload, _ = yield sock_b.recvfrom()
+            return payload
+
+        assert drive(sim, receiver()) is None
+
+
+class TestTcpStreamHelpers:
+    def _serve_bytes(self, sim, node, port, data, close=True):
+        server = TcpServerSocket(node, port)
+
+        def run():
+            sock = yield server.accept()
+            sock.send(data)
+            if close:
+                sock.close()
+
+        SimProcess(sim, run(), name="byte-server")
+
+    def test_read_line_strips_crlf(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        self._serve_bytes(sim, node_b, 80, b"first\r\nsecond\n")
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            first = yield from sock.read_line()
+            second = yield from sock.read_line()
+            return first, second
+
+        assert drive(sim, client()) == (b"first", b"second")
+
+    def test_read_line_eof_returns_none(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        self._serve_bytes(sim, node_b, 80, b"only\n")
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            yield from sock.read_line()
+            return (yield from sock.read_line())
+
+        assert drive(sim, client()) is None
+
+    def test_read_line_returns_partial_tail_at_eof(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        self._serve_bytes(sim, node_b, 80, b"no-newline")
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            return (yield from sock.read_line())
+
+        assert drive(sim, client()) == b"no-newline"
+
+    def test_read_exactly(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        self._serve_bytes(sim, node_b, 80, b"0123456789")
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            head = yield from sock.read_exactly(4)
+            tail = yield from sock.read_exactly(6)
+            return head, tail
+
+        assert drive(sim, client()) == (b"0123", b"456789")
+
+    def test_read_exactly_eof_raises(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        self._serve_bytes(sim, node_b, 80, b"short")
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            with pytest.raises(EOFError):
+                yield from sock.read_exactly(100)
+
+        drive(sim, client())
+
+    def test_read_all(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        self._serve_bytes(sim, node_b, 80, b"a" * 5000)
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            return (yield from sock.read_all())
+
+        assert drive(sim, client()) == b"a" * 5000
+
+    def test_send_line_appends_newline(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        server = TcpServerSocket(node_b, 80)
+        lines = []
+
+        def server_proc():
+            sock = yield server.accept()
+            lines.append((yield from sock.read_line()))
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            sock.send_line("hello")
+            yield Timeout(sim, 1.0)
+
+        SimProcess(sim, server_proc(), name="server")
+        drive(sim, client())
+        assert lines == [b"hello"]

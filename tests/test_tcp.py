@@ -1,0 +1,273 @@
+"""Unit tests for the TCP implementation: handshake, reliability, close."""
+
+import pytest
+
+from repro.netsim.process import SimProcess
+from repro.netsim.sockets import TcpServerSocket, TcpSocket
+from repro.netsim.tcp import ConnectionRefused, ConnectionReset, MSS
+from tests.conftest import drive
+
+
+def echo_server(server_socket, chunks=1):
+    """Accept one connection and echo ``chunks`` received chunks."""
+
+    def run():
+        sock = yield server_socket.accept()
+        for _ in range(chunks):
+            data = yield sock.recv()
+            if data == b"":
+                break
+            sock.send(data)
+        sock.close()
+
+    return run
+
+
+class TestHandshake:
+    def test_connect_establishes(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        server = TcpServerSocket(node_b, 80)
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            return sock.connection.state
+
+        SimProcess(sim, echo_server(server)(), name="server")
+        assert drive(sim, client()) == "ESTABLISHED"
+
+    def test_connect_to_closed_port_refused(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 81)
+            yield sock.wait_connected()
+
+        with pytest.raises(ConnectionRefused):
+            drive(sim, client())
+
+    def test_server_sees_peer_address(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        server = TcpServerSocket(node_b, 80)
+        peers = []
+
+        def server_proc():
+            sock = yield server.accept()
+            peers.append(sock.peer)
+            sock.close()
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            sock.close()
+
+        SimProcess(sim, server_proc(), name="server")
+        drive(sim, client())
+        assert peers and peers[0][0] == star.address_of(node_a)
+
+    def test_double_listen_rejected(self, sim, two_hosts):
+        _, node_b, _ = two_hosts
+        TcpServerSocket(node_b, 80)
+        with pytest.raises(OSError):
+            TcpServerSocket(node_b, 80)
+
+
+class TestDataTransfer:
+    def test_small_roundtrip(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        server = TcpServerSocket(node_b, 80)
+        SimProcess(sim, echo_server(server)(), name="server")
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            sock.send(b"hello tcp")
+            reply = yield sock.recv()
+            sock.close()
+            return reply
+
+        assert drive(sim, client()) == b"hello tcp"
+
+    def test_large_transfer_in_order(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        blob = bytes(range(256)) * 200  # 51 200 B >> MSS, exercises windowing
+        server = TcpServerSocket(node_b, 80)
+
+        def server_proc():
+            sock = yield server.accept()
+            sock.send(blob)
+            sock.close()
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            data = yield from sock.read_all()
+            return data
+
+        SimProcess(sim, server_proc(), name="server")
+        assert drive(sim, client(), until=300.0) == blob
+
+    def test_transfer_survives_loss(self, sim, star):
+        """Retransmission recovers from 10% random loss on the path."""
+        import random
+
+        from repro.netsim.node import Node
+
+        node_a = Node(sim, "lossy-a")
+        node_b = Node(sim, "lossy-b")
+        link_a = star.attach_host(node_a, 1e6, delay=0.001)
+        star.attach_host(node_b, 1e6, delay=0.001)
+        link_a.channel.loss_rate = 0.1
+        link_a.channel._rng = random.Random(7)
+        blob = b"M" * (MSS * 10)
+        server = TcpServerSocket(node_b, 80)
+
+        def server_proc():
+            sock = yield server.accept()
+            sock.send(blob)
+            sock.close()
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            return (yield from sock.read_all())
+
+        SimProcess(sim, server_proc(), name="server")
+        received = drive(sim, client(), until=600.0)
+        assert received == blob
+
+    def test_retransmissions_counted_under_loss(self, sim, star):
+        import random
+
+        from repro.netsim.node import Node
+
+        node_a = Node(sim, "a")
+        node_b = Node(sim, "b")
+        link_a = star.attach_host(node_a, 1e6, delay=0.001)
+        star.attach_host(node_b, 1e6, delay=0.001)
+        link_a.channel.loss_rate = 0.2
+        link_a.channel._rng = random.Random(3)
+        server = TcpServerSocket(node_b, 80)
+        connections = []
+
+        def server_proc():
+            sock = yield server.accept()
+            connections.append(sock.connection)
+            yield from sock.read_all()
+
+        def client():
+            from repro.netsim.process import Timeout
+
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            sock.send(b"x" * (MSS * 6))
+            sock.close()
+            # Give retransmission plenty of time to push everything through
+            # (the peer half stays open; we only need the send side done).
+            yield Timeout(sim, 120.0)
+            return sock.connection.retransmissions
+
+        SimProcess(sim, server_proc(), name="server")
+        retransmissions = drive(sim, client(), until=600.0)
+        assert retransmissions > 0
+
+
+class TestTeardown:
+    def test_eof_after_peer_close(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        server = TcpServerSocket(node_b, 80)
+
+        def server_proc():
+            sock = yield server.accept()
+            sock.send(b"bye")
+            sock.close()
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            first = yield sock.recv()
+            second = yield sock.recv()
+            return first, second
+
+        SimProcess(sim, server_proc(), name="server")
+        first, second = drive(sim, client())
+        assert first == b"bye"
+        assert second == b""
+
+    def test_send_after_close_rejected(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        server = TcpServerSocket(node_b, 80)
+        SimProcess(sim, echo_server(server)(), name="server")
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            sock.close()
+            with pytest.raises(ConnectionReset):
+                sock.send(b"too late")
+
+        drive(sim, client())
+
+    def test_full_close_removes_connection_state(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        server = TcpServerSocket(node_b, 80)
+
+        def server_proc():
+            sock = yield server.accept()
+            yield from sock.read_all()
+            sock.close()
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            sock.send(b"data")
+            sock.close()
+            from repro.netsim.process import Timeout
+
+            yield Timeout(sim, 20.0)
+            return sock.connection.state
+
+        SimProcess(sim, server_proc(), name="server")
+        assert drive(sim, client(), until=120.0) == "CLOSED"
+        assert not node_a.tcp.connections
+
+    def test_abort_resets_peer(self, sim, two_hosts):
+        node_a, node_b, star = two_hosts
+        server = TcpServerSocket(node_b, 80)
+        outcomes = []
+
+        def server_proc():
+            sock = yield server.accept()
+            try:
+                while True:
+                    data = yield sock.recv()
+                    if data == b"":
+                        outcomes.append("eof")
+                        return
+            except ConnectionError:
+                outcomes.append("reset")
+
+        def client():
+            sock = TcpSocket.connect(node_a, star.address_of(node_b), 80)
+            yield sock.wait_connected()
+            sock.abort()
+            from repro.netsim.process import Timeout
+
+            yield Timeout(sim, 5.0)
+
+        SimProcess(sim, server_proc(), name="server")
+        drive(sim, client())
+        assert outcomes == ["reset"]
+
+    def test_listener_close_fails_pending_accepts(self, sim, two_hosts):
+        _, node_b, _ = two_hosts
+        server = TcpServerSocket(node_b, 80)
+
+        def server_proc():
+            with pytest.raises(ConnectionReset):
+                yield server.accept()
+
+        process = SimProcess(sim, server_proc(), name="server")
+        sim.schedule(1.0, server.close)
+        sim.run(until=10.0)
+        assert process.done and process.error is None

@@ -1,0 +1,80 @@
+"""Tests for run-time telemetry sampling."""
+
+import pytest
+
+from repro.core import DDoSim, SimulationConfig
+from repro.core.telemetry import TelemetrySampler, TelemetrySeries
+
+
+@pytest.fixture(scope="module")
+def sampled_run():
+    config = SimulationConfig(
+        n_devs=5, seed=6, attack_duration=20.0,
+        recruit_timeout=30.0, sim_duration=150.0,
+    )
+    ddosim = DDoSim(config)
+    telemetry = TelemetrySampler(ddosim, interval=2.0)
+    result = ddosim.run()
+    return ddosim, telemetry, result
+
+
+class TestTelemetrySampler:
+    def test_samples_on_cadence(self, sampled_run):
+        _ddosim, telemetry, result = sampled_run
+        times = telemetry.series.times
+        assert times[0] == 0.0
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(delta == pytest.approx(2.0) for delta in deltas)
+        assert times[-1] <= result.sim_end_time
+
+    def test_infection_curve_rises_to_full(self, sampled_run):
+        _ddosim, telemetry, _result = sampled_run
+        curve = telemetry.series.infection_curve()
+        assert curve[0] == 0
+        assert curve[-1] == 5
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_received_rate_spikes_during_attack(self, sampled_run):
+        _ddosim, telemetry, result = sampled_run
+        attack_start = result.attack.issued_at
+        during = [
+            sample.received_rate_kbps
+            for sample in telemetry.series.samples
+            if attack_start + 2.0 <= sample.time <= attack_start + 18.0
+        ]
+        before = [
+            sample.received_rate_kbps
+            for sample in telemetry.series.samples
+            if sample.time < attack_start - 2.0
+        ]
+        assert during and max(during) > 100.0
+        assert max(before, default=0.0) < min(during)
+
+    def test_memory_tracked(self, sampled_run):
+        _ddosim, telemetry, _result = sampled_run
+        memory = telemetry.series.column("container_memory_bytes")
+        assert all(value > 0 for value in memory)
+
+    def test_csv_export(self, sampled_run):
+        _ddosim, telemetry, _result = sampled_run
+        csv = telemetry.series.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("time,bots_connected")
+        assert len(lines) == len(telemetry.series) + 1
+
+    def test_peak_rate_helper(self, sampled_run):
+        _ddosim, telemetry, result = sampled_run
+        assert telemetry.series.peak_received_rate_kbps() == pytest.approx(
+            max(telemetry.series.column("received_rate_kbps"))
+        )
+
+    def test_invalid_interval_rejected(self):
+        config = SimulationConfig(n_devs=2)
+        ddosim = DDoSim(config)
+        with pytest.raises(ValueError):
+            TelemetrySampler(ddosim, interval=0.0)
+
+    def test_empty_series_helpers(self):
+        series = TelemetrySeries(interval=1.0)
+        assert len(series) == 0
+        assert series.peak_received_rate_kbps() == 0.0
