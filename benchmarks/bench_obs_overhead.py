@@ -1,0 +1,75 @@
+"""Overhead of the observability layer on the scheduler hot path.
+
+The contract (DESIGN.md "Observability") is that an *uninstrumented* run
+pays nearly nothing: a bare :class:`Simulator` defaults to
+``NULL_OBSERVATORY`` and executes the seed tight loop, and the default
+``Observatory()`` (real registry, null tracer, no profiler) still takes
+that same loop.  Only ``Observatory.full()`` switches to the
+instrumented loop, whose cost we report but do not bound.
+
+Timings use min-of-N: the minimum over several repeats is the least
+noisy estimator for "how fast can this loop go", which is what an
+overhead ratio needs.
+"""
+
+import time
+
+from repro.netsim.simulator import Simulator
+from repro.obs import Observatory
+
+N_EVENTS = 50_000
+REPEATS = 7
+MAX_OFF_OVERHEAD = 0.05  # 5%
+
+
+def _noop():
+    pass
+
+
+def _run_scheduler(observatory=None) -> float:
+    """Wall seconds to schedule+dispatch N_EVENTS no-op events."""
+    sim = Simulator()
+    if observatory is not None:
+        sim.attach_observatory(observatory)
+    for index in range(N_EVENTS):
+        sim.schedule(index * 1e-6, _noop)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert sim.events_executed == N_EVENTS
+    return elapsed
+
+
+def _best(make_observatory) -> float:
+    _run_scheduler(make_observatory() if make_observatory else None)  # warm-up
+    return min(
+        _run_scheduler(make_observatory() if make_observatory else None)
+        for _ in range(REPEATS)
+    )
+
+
+def test_off_mode_overhead_under_5_percent():
+    """Default Observatory (metrics-only) must ride the seed loop."""
+    bare = _best(None)
+    metrics_only = _best(Observatory)
+    overhead = metrics_only / bare - 1.0
+    print(
+        f"\nbare: {N_EVENTS / bare:,.0f} ev/s | "
+        f"metrics-only: {N_EVENTS / metrics_only:,.0f} ev/s | "
+        f"overhead: {overhead:+.2%}"
+    )
+    assert overhead < MAX_OFF_OVERHEAD
+
+
+def test_report_full_instrumentation_cost():
+    """Informational: events/sec with tracer + profiler fully on."""
+    bare = _best(None)
+    full = _best(Observatory.full)
+    print(
+        f"\nbare: {N_EVENTS / bare:,.0f} ev/s | "
+        f"full: {N_EVENTS / full:,.0f} ev/s | "
+        f"slowdown: {full / bare:.2f}x"
+    )
+    # Sanity only — full instrumentation is allowed to cost, but a >20x
+    # slowdown would mean the instrumented loop regressed badly.
+    assert full / bare < 20.0

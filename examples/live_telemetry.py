@@ -8,10 +8,15 @@ devices."  This example samples the whole system every 5 simulated
 seconds and renders the run's life cycle — recruitment ramp, idle
 pre-attack phase, the flood, cooldown — as an ASCII timeline.
 
+It also runs fully instrumented (``Observatory.full()``) to show the
+other half of the observability layer: the typed event trace — when each
+device was recruited, when exploits landed — and the scheduler profile.
+
 Run:  python examples/live_telemetry.py
 """
 
 from repro.core import DDoSim, SimulationConfig, TelemetrySampler
+from repro.obs import Observatory
 
 
 def main() -> None:
@@ -22,7 +27,7 @@ def main() -> None:
         recruit_timeout=40.0,
         sim_duration=300.0,
     )
-    ddosim = DDoSim(config)
+    ddosim = DDoSim(config, observatory=Observatory.full())
     telemetry = TelemetrySampler(ddosim, interval=5.0)
     print(f"running {config.n_devs}-device scenario with 5 s telemetry ...\n")
     result = ddosim.run()
@@ -49,6 +54,24 @@ def main() -> None:
         f"{telemetry.series.peak_received_rate_kbps():.0f} kbps peak "
         f"(sampled)"
     )
+
+    # The typed event trace: scrutinize individual compromises.
+    tracer = ddosim.obs.tracer
+    print("\nfirst five recruitments (from the cnc.recruit event stream):")
+    for event in tracer.events("cnc.recruit")[:5]:
+        print(
+            f"  t={event.t:7.2f}s  bot {event.fields['bot_id']:3d}  "
+            f"{event.fields['address']}  [{event.fields['architecture']}]"
+        )
+    counts = tracer.counts()
+    interesting = ("exploit.attempt", "exploit.success", "cnc.recruit",
+                   "queue.drop")
+    print("\nevent counts: " + ", ".join(
+        f"{name}={counts.get(name, 0)}" for name in interesting
+    ))
+
+    print("\nscheduler hot sites:")
+    print(ddosim.obs.profiler.format_table(limit=5))
 
 
 if __name__ == "__main__":

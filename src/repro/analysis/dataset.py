@@ -78,6 +78,7 @@ def generate_detection_dataset(
         app.schedule_start(0.5 + 0.3 * index)
 
     result = ddosim.run()
+    capture.close()  # stop tapping: sweeps create many captures per process
     attack_start = result.attack.issued_at
     attack_end = attack_start + result.attack.duration
     X, y = windows_from_capture(

@@ -50,6 +50,26 @@ def lookup_program(key: str) -> Optional[Callable]:
     return _programs.get(key)
 
 
+def report_hijack(ctx, program: str, succeeded: bool, reason=None) -> None:
+    """Report a victim-side control-flow-hijack outcome to the run's
+    observatory (``exploit.success``/``exploit.crash`` events plus the
+    matching counter family).  Shared by every vulnerable daemon."""
+    obs = ctx.sim.obs
+    name = "exploit_success_total" if succeeded else "exploit_crashes_total"
+    obs.metrics.counter(
+        name, help="victim-side control-flow hijack outcomes, by program",
+        labels=("program",),
+    ).labels(program).inc()
+    if obs.tracer.enabled:
+        fields = {"program": program, "container": ctx.container.name}
+        if reason is not None:
+            fields["reason"] = str(reason)
+        obs.tracer.emit(
+            "exploit.success" if succeeded else "exploit.crash",
+            ctx.sim.now, **fields,
+        )
+
+
 class BinaryImage:
     """An emulated compiled binary."""
 

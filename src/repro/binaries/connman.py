@@ -18,7 +18,12 @@ server: the info-leak the two-stage exploit needs under ASLR.
 
 from __future__ import annotations
 
-from repro.binaries.binfmt import BinaryImage, BinaryRuntime, register_program
+from repro.binaries.binfmt import (
+    BinaryImage,
+    BinaryRuntime,
+    register_program,
+    report_hijack as _report_hijack,
+)
 from repro.memsafety.stack import StackFrame
 from repro.memsafety.syscalls import SyscallInvocation, perform_execlp
 from repro.netsim.address import AddressError, Ipv4Address, Ipv6Address
@@ -120,10 +125,12 @@ def _handle_response(ctx, runtime: BinaryRuntime, sock, payload: bytes,
     if outcome.succeeded:
         invocation = SyscallInvocation(outcome.syscall.name, outcome.syscall.args)
         ctx.log(f"connmand: control-flow hijack -> {invocation.args!r}")
+        _report_hijack(ctx, "connmand", True)
         perform_execlp(invocation, ctx)
         # execlp replaces the process image: the daemon is gone.
         return "exit"
     ctx.log(f"connmand: crashed: {outcome.crash_reason}")
+    _report_hijack(ctx, "connmand", False, reason=outcome.crash_reason)
     return "exit"
 
 

@@ -18,7 +18,12 @@ Emulated flow: the daemon binds UDP 547, joins the multicast group, and
 
 from __future__ import annotations
 
-from repro.binaries.binfmt import BinaryImage, BinaryRuntime, register_program
+from repro.binaries.binfmt import (
+    BinaryImage,
+    BinaryRuntime,
+    register_program,
+    report_hijack as _report_hijack,
+)
 from repro.memsafety.stack import StackFrame
 from repro.memsafety.syscalls import SyscallInvocation, perform_execlp
 from repro.netsim.address import ALL_DHCP_RELAY_AGENTS_AND_SERVERS
@@ -103,9 +108,11 @@ def _handle_message(ctx, runtime: BinaryRuntime, sock, payload: bytes,
     if outcome.succeeded:
         invocation = SyscallInvocation(outcome.syscall.name, outcome.syscall.args)
         ctx.log(f"dnsmasq: control-flow hijack -> {invocation.args!r}")
+        _report_hijack(ctx, "dnsmasq", True)
         perform_execlp(invocation, ctx)
         return "exit"
     ctx.log(f"dnsmasq: crashed: {outcome.crash_reason}")
+    _report_hijack(ctx, "dnsmasq", False, reason=outcome.crash_reason)
     return "exit"
 
 

@@ -138,9 +138,23 @@ class CncServer:
             )
             self.bots[record.bot_id] = record
             self.total_registrations += 1
+            obs = ctx.sim.obs
+            obs.metrics.counter(
+                "cnc_registrations_total",
+                help="bot registrations (reconnects included)",
+            ).inc()
             if record.address not in self.seen_addresses:
                 self.seen_addresses.add(record.address)
                 self.registration_times.append(ctx.sim.now)
+                obs.metrics.counter(
+                    "cnc_recruits_total", help="distinct bots ever recruited"
+                ).inc()
+                if obs.tracer.enabled:
+                    obs.tracer.emit(
+                        "cnc.recruit", ctx.sim.now,
+                        bot_id=record.bot_id, address=str(record.address),
+                        architecture=architecture,
+                    )
             if self.first_registration_time is None:
                 self.first_registration_time = ctx.sim.now
             self.last_registration_time = ctx.sim.now
@@ -216,6 +230,17 @@ class CncServer:
         """Broadcast an attack order; returns the recorded order."""
         line = f"ATTACK {method} {target} {port} {duration:g} {payload_size}"
         sent = self.broadcast(line)
+        if self._sim is not None:
+            obs = self._sim.obs
+            obs.metrics.counter(
+                "cnc_attack_orders_total", help="attack orders broadcast"
+            ).inc()
+            if obs.tracer.enabled:
+                obs.tracer.emit(
+                    "cnc.attack", self._sim.now,
+                    method=method, target=target, port=port,
+                    duration=duration, bots=sent,
+                )
         order = AttackOrder(
             method=method,
             target=target,

@@ -9,9 +9,15 @@ Commands:
 * ``figure4``     — hardware-model vs DDoSim validation (paper Figure 4).
 * ``recruitment`` — infection rate per CVE x protection profile (R1/R2).
 * ``epidemic``    — worm-spread propagation + SI fit (use case V-A2).
+* ``obs``         — fully-instrumented run: scheduler profile, event
+  counts, optional Chrome trace / metrics exports.
 
 Every sweep command accepts ``--csv PATH`` / ``--json PATH`` to archive
 the rows, and ``run`` accepts ``--config PATH`` to load a JSON config.
+``run`` also accepts ``--trace-out`` / ``--metrics-out``, which enable
+full instrumentation for that run and write a Chrome ``trace_event``
+file (load it at ``chrome://tracing`` or https://ui.perfetto.dev) and a
+metrics-registry snapshot.
 """
 
 from __future__ import annotations
@@ -76,15 +82,68 @@ def _add_output_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", help="write rows as JSON to this path")
 
 
+def _check_writable(*paths: Optional[str]) -> None:
+    """Fail before the (possibly long) run, not after, on bad out paths."""
+    for path in paths:
+        if path:
+            with open(path, "w", encoding="utf-8"):
+                pass
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one simulation with the flag-built (or file-loaded) config."""
+    from repro.obs import Observatory
+
     config = _config_from_args(args)
-    result = DDoSim(config).run()
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    _check_writable(trace_out, metrics_out)
+    observatory = Observatory.full() if (trace_out or metrics_out) else None
+    ddosim = DDoSim(config, observatory=observatory)
+    result = ddosim.run()
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result_to_json(result))
         print(f"wrote {args.json}")
+    if trace_out:
+        ddosim.obs.write_trace_chrome(trace_out)
+        print(f"wrote {trace_out} ({sum(ddosim.obs.tracer.counts().values())} events)")
+    if metrics_out:
+        ddosim.obs.write_metrics_json(metrics_out)
+        print(f"wrote {metrics_out}")
     print(format_table([result.row()]))
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run fully instrumented and report where the simulation spends
+    its time and what it emits."""
+    from repro.obs import Observatory
+
+    config = _config_from_args(args)
+    _check_writable(args.trace_out, args.metrics_out)
+    observatory = Observatory.full(trace_capacity=args.trace_capacity)
+    ddosim = DDoSim(config, observatory=observatory)
+    ddosim.run()
+
+    profiler = ddosim.obs.profiler
+    print("scheduler hot sites (by wall time)")
+    print(profiler.format_table(limit=args.top))
+    print()
+    print("event counts (emitted / retained)")
+    tracer = ddosim.obs.tracer
+    counts = tracer.counts()
+    for name in sorted(counts):
+        retained = len(tracer.events(name))
+        evicted = tracer.evicted.get(name, 0)
+        suffix = f" ({evicted} evicted)" if evicted else ""
+        print(f"  {name:<22} {counts[name]:>8} / {retained}{suffix}")
+    if args.trace_out:
+        ddosim.obs.write_trace_chrome(args.trace_out)
+        print(f"wrote {args.trace_out}")
+    if args.metrics_out:
+        ddosim.obs.write_metrics_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -172,7 +231,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_run_args(run_parser)
     run_parser.add_argument("--config", help="JSON config file (overrides flags)")
     run_parser.add_argument("--json", help="write the full RunResult as JSON")
+    run_parser.add_argument("--trace-out",
+                            help="write a Chrome trace_event file "
+                                 "(enables full instrumentation)")
+    run_parser.add_argument("--metrics-out",
+                            help="write a metrics-registry snapshot as JSON "
+                                 "(enables full instrumentation)")
     run_parser.set_defaults(func=cmd_run)
+
+    obs_parser = commands.add_parser(
+        "obs", help="instrumented run: scheduler profile + event trace"
+    )
+    _add_common_run_args(obs_parser)
+    obs_parser.add_argument("--config", help="JSON config file (overrides flags)")
+    obs_parser.add_argument("--top", type=int, default=15,
+                            help="profiler sites to print")
+    obs_parser.add_argument("--trace-capacity", type=int, default=65536,
+                            help="ring-buffer capacity per event type")
+    obs_parser.add_argument("--trace-out", help="write Chrome trace_event JSON")
+    obs_parser.add_argument("--metrics-out", help="write metrics snapshot JSON")
+    obs_parser.set_defaults(func=cmd_obs)
 
     for name, func, help_text in (
         ("figure2", cmd_figure2, "Devs x churn sweep (Figure 2)"),

@@ -28,6 +28,18 @@ class ContainerRuntime:
         self.images: Dict[str, Image] = {}
         self.containers: Dict[str, Container] = {}
         self._id_counter = itertools.count(1)
+        obs = sim.obs
+        self._tracer = obs.tracer
+        self._spawn_counter = obs.metrics.counter(
+            "container_spawns_total", help="containers started"
+        )
+        self._stop_counter = obs.metrics.counter(
+            "container_stops_total", help="containers stopped"
+        )
+        obs.metrics.gauge(
+            "containers_running", help="containers currently running",
+            fn=lambda: len(self.running_containers()),
+        )
 
     # ------------------------------------------------------------------
     # Images
@@ -68,9 +80,22 @@ class ContainerRuntime:
                 f"{container.name}: start before attach_network (no eth0)"
             )
         container.start()
+        self._spawn_counter.inc()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "container.spawn", self.sim.now,
+                container=container.name, image=container.image.reference,
+            )
 
     def stop(self, container: Container) -> None:
+        was_running = container.state == "running"
         container.stop()
+        if was_running:
+            self._stop_counter.inc()
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "container.stop", self.sim.now, container=container.name
+                )
 
     def remove(self, container: Container) -> None:
         if container.state == "running":
@@ -82,7 +107,7 @@ class ContainerRuntime:
         having to fix NS3DockerEmulator's cleanup crashes — ours is
         idempotent and exception-free by construction)."""
         for container in list(self.containers.values()):
-            container.stop()
+            self.stop(container)
 
     # ------------------------------------------------------------------
     # Stats (docker stats analogue)

@@ -92,8 +92,13 @@ class AttackerComponent:
         self.file_server = HttpFileServer(root="/var/www")
         self.urls = InfectionUrls(file_server_host=str(self.address))
 
-        self.connman_kit = ExploitKit(connman_binary, self.urls)
-        self.dnsmasq_kit = ExploitKit(dnsmasq_binary, self.urls)
+        self.connman_kit = ExploitKit(connman_binary, self.urls, obs=sim.obs)
+        self.dnsmasq_kit = ExploitKit(dnsmasq_binary, self.urls, obs=sim.obs)
+        self._exploit_attempts = sim.obs.metrics.counter(
+            "exploit_attempts_total",
+            help="exploit payloads sent to victims, by vector",
+            labels=("vector",),
+        )
 
         # Per-victim exploitation state (address -> slide).
         self.dns_slides: Dict[object, int] = {}
@@ -275,6 +280,13 @@ class AttackerComponent:
         response = dns.make_response(query, [answer])
         sock.sendto(response.encode(), source, source_port)
         self.dns_exploits_sent += 1
+        self._exploit_attempts.labels("dns").inc()
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "exploit.attempt", self.sim.now,
+                vector="dns", target=str(source), slide=slide,
+            )
 
     def _dhcp6_attack_program(self):
         """The DHCPv6 exploit script (Dnsmasq exploitation path).
@@ -326,6 +338,13 @@ class AttackerComponent:
                     )
                     sock.sendto(exploit.encode(), source, dhcp6.SERVER_PORT)
                     component.dhcp_exploits_sent += 1
+                    component._exploit_attempts.labels("dhcp6").inc()
+                    tracer = ctx.sim.obs.tracer
+                    if tracer.enabled:
+                        tracer.emit(
+                            "exploit.attempt", ctx.sim.now,
+                            vector="dhcp6", target=str(source), slide=slide,
+                        )
                     exploited[source] = True
             except ProcessKilled:
                 raise

@@ -98,6 +98,23 @@ class _ChurnBase:
             )
         self.log: List[ChurnLogEntry] = []
 
+    def _record(self, sim, state: ChurnState, event: str) -> None:
+        """Log one leave/rejoin and report it to ``sim``'s observatory."""
+        self.log.append(ChurnLogEntry(sim.now, state.device_index, event))
+        obs = sim.obs
+        if event == "leave":
+            obs.metrics.counter(
+                "churn_departures_total", help="device churn departures"
+            ).inc()
+            if obs.tracer.enabled:
+                obs.tracer.emit("churn.down", sim.now, device=state.device_index)
+        else:
+            obs.metrics.counter(
+                "churn_rejoins_total", help="device churn rejoins"
+            ).inc()
+            if obs.tracer.enabled:
+                obs.tracer.emit("churn.up", sim.now, device=state.device_index)
+
     def online_count(self) -> int:
         return sum(1 for state in self.states if state.online)
 
@@ -123,7 +140,7 @@ class StaticChurn(_ChurnBase):
                 state.departures += 1
                 departed += 1
                 set_device_online(state.device_index, False)
-                self.log.append(ChurnLogEntry(sim.now, state.device_index, "leave"))
+                self._record(sim, state, "leave")
         return departed
 
 
@@ -171,11 +188,9 @@ class DynamicChurn(_ChurnBase):
                     state.online = False
                     state.departures += 1
                     set_device_online(state.device_index, False)
-                    self.log.append(
-                        ChurnLogEntry(sim.now, state.device_index, "leave")
-                    )
+                    self._record(sim, state, "leave")
             elif self.rng.random() < self.rejoin_probability:
                 state.online = True
                 state.rejoins += 1
                 set_device_online(state.device_index, True)
-                self.log.append(ChurnLogEntry(sim.now, state.device_index, "rejoin"))
+                self._record(sim, state, "rejoin")

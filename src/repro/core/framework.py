@@ -42,6 +42,7 @@ from repro.core.tserver import TServerComponent
 from repro.netsim.process import AnyOf, SimProcess, Timeout
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import StarInternet
+from repro.obs.observatory import Observatory
 
 
 class DDoSim:
@@ -49,14 +50,24 @@ class DDoSim:
 
         result = DDoSim(SimulationConfig(n_devs=50, seed=7)).run()
         print(result.attack.avg_received_kbps)
+
+    Pass ``observatory=Observatory.full()`` to capture a structured event
+    trace and scheduler profile alongside the metrics registry every run
+    carries (the registry is what :class:`TelemetrySampler` samples).
     """
 
     def __init__(self, config: SimulationConfig,
                  resource_model: Optional[ResourceModel] = None,
-                 network_factory=None):
+                 network_factory=None,
+                 observatory: Optional[Observatory] = None):
         self.config = config
         self.rng = random.Random(f"{config.seed}-ddosim")
         self.sim = Simulator()
+        # Attach before any component is built: instrumented layers bind
+        # their counters/tracers from sim.obs at construction time.
+        self.obs = self.sim.attach_observatory(
+            observatory if observatory is not None else Observatory()
+        )
         # The network fabric is pluggable: the default is the paper's
         # star "simulated Internet"; the hardware validation swaps in
         # repro.hardware.testbed.WifiTestbedInternet.
@@ -102,6 +113,36 @@ class DDoSim:
         self._attack_issued_at: Optional[float] = None
         self._online_at_recruit_start = config.n_devs
         self._built = False
+
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Publish the run's live state as callback gauges.
+
+        These are the registry-sourced samples :class:`TelemetrySampler`
+        reads (gauge names match :class:`TelemetrySample` field names);
+        callback gauges cost nothing until read.
+        """
+        metrics = self.obs.metrics
+        cnc = self.attacker.cnc
+        metrics.gauge("bots_connected", help="bots connected to the C&C",
+                      fn=cnc.bot_count)
+        metrics.gauge("devs_online", help="devices currently online",
+                      fn=self.devs.online_count)
+        metrics.gauge("distinct_recruits",
+                      help="distinct bot addresses ever recruited",
+                      fn=lambda: len(cnc.seen_addresses))
+        metrics.gauge("tserver_rx_bytes_total",
+                      help="bytes received by the TServer sink",
+                      fn=lambda: self.tserver.sink.total_bytes)
+        metrics.gauge("container_memory_bytes",
+                      help="total RSS of running containers",
+                      fn=self.runtime.total_memory_bytes)
+        # queue_drops_total is the counter the drop-tail queues maintain
+        # on their own hot path; pre-register it so the telemetry sampler
+        # reads 0 (not a missing metric) before the first drop.
+        metrics.counter("queue_drops_total",
+                        help="packets dropped by transmit queues")
 
     # ------------------------------------------------------------------
     # Assembly

@@ -7,21 +7,29 @@ that researchers can "extract the number of infected devices in Devs at
 any time step".
 
 :class:`TelemetrySampler` is that capability: attached to a
-:class:`~repro.core.framework.DDoSim`, it samples the full system state
-every ``interval`` simulated seconds, producing aligned series of botnet
-size, device availability, received traffic rate, emulator memory and
-congestion losses over the run's lifetime.
+:class:`~repro.core.framework.DDoSim`, it samples the run's
+:class:`~repro.obs.MetricsRegistry` every ``interval`` simulated
+seconds.  The sampler does not reach into component internals: every
+column is a metric the framework publishes (callback gauges for live
+state, the drop-tail queues' own ``queue_drops_total`` counter), so any
+component wired into the observability layer is automatically
+sampleable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, field, fields
 from typing import List, Optional
 
 
 @dataclass
 class TelemetrySample:
-    """One snapshot of the running system."""
+    """One snapshot of the running system.
+
+    Field names double as the registry metric names they are sampled
+    from (``received_rate_kbps`` is derived, ``time`` is the clock).
+    """
 
     time: float
     bots_connected: int
@@ -31,6 +39,22 @@ class TelemetrySample:
     received_rate_kbps: float       # over the last sampling interval
     container_memory_bytes: int
     queue_drops_total: int
+
+
+#: CSV/JSONL column order, derived from the dataclass so exports can
+#: never drift from the sample schema.
+SAMPLE_FIELDS = tuple(f.name for f in fields(TelemetrySample))
+
+#: registry metrics sampled 1:1 into same-named sample fields
+_SAMPLED_METRICS = tuple(
+    name for name in SAMPLE_FIELDS if name not in ("time", "received_rate_kbps")
+)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
 
 
 @dataclass
@@ -59,25 +83,26 @@ class TelemetrySeries:
         return max(rates) if rates else 0.0
 
     def to_csv(self) -> str:
-        header = (
-            "time,bots_connected,devs_online,distinct_recruits,"
-            "tserver_rx_bytes_total,received_rate_kbps,"
-            "container_memory_bytes,queue_drops_total"
-        )
-        lines = [header]
+        lines = [",".join(SAMPLE_FIELDS)]
         for sample in self.samples:
             lines.append(
-                f"{sample.time:.3f},{sample.bots_connected},"
-                f"{sample.devs_online},{sample.distinct_recruits},"
-                f"{sample.tserver_rx_bytes_total},"
-                f"{sample.received_rate_kbps:.3f},"
-                f"{sample.container_memory_bytes},{sample.queue_drops_total}"
+                ",".join(
+                    _format_value(getattr(sample, name)) for name in SAMPLE_FIELDS
+                )
             )
         return "\n".join(lines) + "\n"
 
+    def to_jsonl(self) -> str:
+        """One JSON object per sample, keys in schema order."""
+        lines = [
+            json.dumps({name: getattr(sample, name) for name in SAMPLE_FIELDS})
+            for sample in self.samples
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
 
 class TelemetrySampler:
-    """Samples a DDoSim instance on a fixed simulated-time cadence.
+    """Samples a DDoSim's metrics registry on a fixed simulated cadence.
 
     Attach *before* ``run()``::
 
@@ -96,26 +121,34 @@ class TelemetrySampler:
         self.until = until if until is not None else ddosim.config.sim_duration
         self.series = TelemetrySeries(interval=interval)
         self._last_rx_bytes = 0
+        self._first_sample = True
         ddosim.sim.schedule(0.0, self._sample)
 
     def _sample(self) -> None:
-        ddosim = self.ddosim
-        sim = ddosim.sim
-        rx_total = ddosim.tserver.sink.total_bytes
-        rate_kbps = (
-            (rx_total - self._last_rx_bytes) * 8.0 / 1000.0 / self.interval
-        )
+        sim = self.ddosim.sim
+        registry = self.ddosim.obs.metrics
+        values = {name: registry.value(name) for name in _SAMPLED_METRICS}
+        rx_total = int(values["tserver_rx_bytes_total"])
+        if self._first_sample:
+            # No interval has elapsed yet at t=0: a rate computed against
+            # the zero baseline would fabricate traffic that never flowed.
+            rate_kbps = 0.0
+            self._first_sample = False
+        else:
+            rate_kbps = (
+                (rx_total - self._last_rx_bytes) * 8.0 / 1000.0 / self.interval
+            )
         self._last_rx_bytes = rx_total
         self.series.samples.append(
             TelemetrySample(
                 time=sim.now,
-                bots_connected=ddosim.attacker.cnc.bot_count(),
-                devs_online=ddosim.devs.online_count(),
-                distinct_recruits=len(ddosim.attacker.cnc.seen_addresses),
+                bots_connected=int(values["bots_connected"]),
+                devs_online=int(values["devs_online"]),
+                distinct_recruits=int(values["distinct_recruits"]),
                 tserver_rx_bytes_total=rx_total,
                 received_rate_kbps=rate_kbps,
-                container_memory_bytes=ddosim.runtime.total_memory_bytes(),
-                queue_drops_total=ddosim.star.total_queue_drops(),
+                container_memory_bytes=int(values["container_memory_bytes"]),
+                queue_drops_total=int(values["queue_drops_total"]),
             )
         )
         if sim.now + self.interval <= self.until:

@@ -56,6 +56,17 @@ class PointToPointChannel(Channel):
         self._rng = rng
         self.packets_carried = 0
         self.packets_lost = 0
+        obs = sim.obs
+        self._tracer = obs.tracer
+        self._tx_packets = obs.metrics.counter(
+            "link_tx_packets_total", help="packets carried by point-to-point links"
+        )
+        self._tx_bytes = obs.metrics.counter(
+            "link_tx_bytes_total", help="bytes carried by point-to-point links"
+        )
+        self._loss_packets = obs.metrics.counter(
+            "link_lost_packets_total", help="packets lost to random medium loss"
+        )
 
     def attach(self, device: "NetDevice") -> None:
         if len(self.devices) >= 2:
@@ -75,8 +86,16 @@ class PointToPointChannel(Channel):
         if self.loss_rate > 0.0 and self._rng is not None:
             if self._rng.random() < self.loss_rate:
                 self.packets_lost += 1
+                self._loss_packets.inc()
                 return
         self.packets_carried += 1
+        self._tx_packets.inc()
+        self._tx_bytes.inc(packet.size)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "link.tx", self.sim.now,
+                sender=sender.name, size=packet.size, delay=self.delay,
+            )
         if self.delay > 0.0:
             self.sim.schedule(self.delay, peer.receive, packet)
         else:

@@ -87,6 +87,7 @@ class PointToPointDevice(NetDevice):
             raise ValueError("data rate must be positive")
         self.data_rate_bps = data_rate_bps
         self.queue = queue if queue is not None else DropTailQueue()
+        self.queue.bind_observatory(sim, name)
         self._transmitting = False
 
     def send(self, packet: Packet) -> bool:

@@ -12,6 +12,8 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro.netsim.packet import Packet
+from repro.obs.metrics import NULL_INSTRUMENT
+from repro.obs.trace import NULL_TRACER
 
 
 class DropTailQueue:
@@ -29,6 +31,21 @@ class DropTailQueue:
         self.bytes_queued = 0
         self.enqueued = 0
         self.dropped = 0
+        # Observability bindings; the owning NetDevice wires these via
+        # bind_observatory (queues alone have no simulator reference).
+        self.name = ""
+        self._sim = None
+        self._tracer = NULL_TRACER
+        self._drop_counter = NULL_INSTRUMENT
+
+    def bind_observatory(self, sim, name: str) -> None:
+        """Bind drop accounting to ``sim``'s observatory under ``name``."""
+        self.name = name
+        self._sim = sim
+        self._tracer = sim.obs.tracer
+        self._drop_counter = sim.obs.metrics.counter(
+            "queue_drops_total", help="packets dropped by transmit queues"
+        )
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -40,10 +57,10 @@ class DropTailQueue:
     def enqueue(self, packet: Packet) -> bool:
         """Add ``packet``; returns False (and counts a drop) on overflow."""
         if len(self._queue) >= self.max_packets:
-            self.dropped += 1
+            self._record_drop(packet, "overflow_packets")
             return False
         if self.max_bytes is not None and self.bytes_queued + packet.size > self.max_bytes:
-            self.dropped += 1
+            self._record_drop(packet, "overflow_bytes")
             return False
         self._queue.append(packet)
         self.bytes_queued += packet.size
@@ -62,9 +79,26 @@ class DropTailQueue:
         """Drop everything queued (link went down); returns packets lost."""
         lost = len(self._queue)
         self.dropped += lost
+        if lost:
+            self._drop_counter.inc(lost)
+            if self._tracer.enabled and self._sim is not None:
+                self._tracer.emit(
+                    "queue.drop", self._sim.now,
+                    queue=self.name, reason="link_down", lost=lost,
+                )
         self._queue.clear()
         self.bytes_queued = 0
         return lost
+
+    def _record_drop(self, packet: Packet, reason: str) -> None:
+        self.dropped += 1
+        self._drop_counter.inc()
+        if self._tracer.enabled and self._sim is not None:
+            self._tracer.emit(
+                "queue.drop", self._sim.now,
+                queue=self.name, reason=reason, size=packet.size,
+                depth=len(self._queue),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -13,7 +13,11 @@ heap entries themselves.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, List, Optional
+
+from repro.obs.observatory import NULL_OBSERVATORY
+from repro.obs.profiler import site_of
 
 
 class SimulationError(RuntimeError):
@@ -72,6 +76,21 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_executed: int = 0
+        #: observability hub (registry + tracer + profiler); the default
+        #: null observatory keeps run() on the uninstrumented fast loop.
+        self.obs = NULL_OBSERVATORY
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_observatory(self, obs):
+        """Install an :class:`repro.obs.Observatory`; returns it.
+
+        Attach before building components: instrumented layers bind
+        their counters/tracers from ``sim.obs`` at construction time.
+        """
+        self.obs = obs
+        return obs
 
     # ------------------------------------------------------------------
     # Clock
@@ -123,21 +142,56 @@ class Simulator:
         self._stopped = False
         heap = self._heap
         try:
-            while heap and not self._stopped:
-                event = heap[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                self.events_executed += 1
-                event.callback(*event.args)
+            if self.obs.instrumented:
+                self._run_instrumented(until)
+            else:
+                while heap and not self._stopped:
+                    event = heap[0]
+                    if until is not None and event.time > until:
+                        break
+                    heapq.heappop(heap)
+                    if event.cancelled:
+                        continue
+                    self._now = event.time
+                    self.events_executed += 1
+                    event.callback(*event.args)
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         return self._now
+
+    def _run_instrumented(self, until: Optional[float]) -> None:
+        """The observed run loop: per-site wall timing, heap high-water,
+        and ``sched.fire`` trace events.  Split from :meth:`run` so the
+        default loop stays byte-for-byte the seed hot path."""
+        heap = self._heap
+        profiler = self.obs.profiler
+        tracer = self.obs.tracer
+        trace_on = tracer.enabled
+        perf = time.perf_counter
+        if profiler is not None:
+            profiler.start_run()
+        while heap and not self._stopped:
+            event = heap[0]
+            if until is not None and event.time > until:
+                break
+            if profiler is not None and len(heap) > profiler.heap_high_water:
+                profiler.heap_high_water = len(heap)
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            callback = event.callback
+            if trace_on:
+                tracer.emit("sched.fire", self._now, site=site_of(callback))
+            if profiler is not None:
+                started = perf()
+                callback(*event.args)
+                profiler.record(callback, perf() - started)
+            else:
+                callback(*event.args)
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""

@@ -372,6 +372,7 @@ class TcpConnection:
             self._teardown(ConnectionReset("retransmission retries exhausted"))
             return
         self._rto = min(self._rto * 2.0, MAX_RTO)
+        resent_before = self.retransmissions
         if self.state == SYN_SENT:
             self._emit_segment(TCP_SYN, seq=self.snd_nxt - 1)
             self.retransmissions += 1
@@ -386,6 +387,18 @@ class TcpConnection:
             if self._fin_sent and not self._fin_acked:
                 self._emit_segment(TCP_FIN | TCP_ACK, seq=self.snd_nxt - 1, ack=self.rcv_nxt)
                 self.retransmissions += 1
+        resent = self.retransmissions - resent_before
+        if resent:
+            self.tcp._retx_counter.inc(resent)
+            tracer = self.tcp._tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "tcp.retransmit", self.sim.now,
+                    local=f"{self.local_addr}:{self.local_port}",
+                    remote=f"{self.remote_addr}:{self.remote_port}",
+                    state=self.state, segments=resent,
+                    retries=self._retries, rto=self._rto,
+                )
         self._arm_timer()
 
     # ------------------------------------------------------------------
@@ -426,6 +439,12 @@ class Tcp:
         self.connections: Dict[Tuple[int, Address, int], TcpConnection] = {}
         self._next_ephemeral = 49152
         self.rst_sent = 0
+        obs = ip.sim.obs
+        self._tracer = obs.tracer
+        self._retx_counter = obs.metrics.counter(
+            "tcp_retransmissions_total",
+            help="TCP segments retransmitted (go-back-N resends included)",
+        )
 
     # ------------------------------------------------------------------
     # API

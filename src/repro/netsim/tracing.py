@@ -40,13 +40,37 @@ FlowKey = Tuple[object, object, int, int, int]
 
 
 class FlowMonitor:
-    """Taps a node's IP delivery path and keys stats by 5-tuple."""
+    """Taps a node's IP delivery path and keys stats by 5-tuple.
+
+    Call :meth:`close` (or :meth:`detach`) when done: the tap holds a
+    reference on the node's delivery path, so monitors created in a loop
+    over many runs otherwise keep observing — and keep their host
+    objects alive — forever.
+    """
 
     def __init__(self, node: Node):
         self.node = node
         self.sim = node.sim
         self.flows: Dict[FlowKey, FlowStats] = {}
+        self._attached = True
         node.ip.delivery_taps.append(self._tap)
+
+    def detach(self) -> None:
+        """Stop observing; collected statistics remain readable."""
+        if self._attached:
+            self._attached = False
+            try:
+                self.node.ip.delivery_taps.remove(self._tap)
+            except ValueError:
+                pass
+
+    close = detach
+
+    def __enter__(self) -> "FlowMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
 
     def _tap(self, packet, ip_header) -> None:
         sport = dport = 0
@@ -84,7 +108,11 @@ class CapturedPacket:
 
 
 class PacketCapture:
-    """Bounded per-packet capture on a node's delivery path."""
+    """Bounded per-packet capture on a node's delivery path.
+
+    Like :class:`FlowMonitor`, the capture taps the node until
+    :meth:`close`/:meth:`detach` is called; records stay readable after.
+    """
 
     def __init__(self, node: Node, max_records: int = 1_000_000):
         self.node = node
@@ -92,7 +120,25 @@ class PacketCapture:
         self.max_records = max_records
         self.records: List[CapturedPacket] = []
         self.truncated = False
+        self._attached = True
         node.ip.delivery_taps.append(self._tap)
+
+    def detach(self) -> None:
+        """Stop capturing; collected records remain readable."""
+        if self._attached:
+            self._attached = False
+            try:
+                self.node.ip.delivery_taps.remove(self._tap)
+            except ValueError:
+                pass
+
+    close = detach
+
+    def __enter__(self) -> "PacketCapture":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
 
     def _tap(self, packet, ip_header) -> None:
         if len(self.records) >= self.max_records:

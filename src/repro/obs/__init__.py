@@ -1,0 +1,55 @@
+"""repro.obs — the unified observability layer.
+
+Three instruments, one facade:
+
+* :mod:`repro.obs.metrics` — a metrics registry (:class:`Counter`,
+  :class:`Gauge`, :class:`Histogram`, labeled families) with
+  snapshot/delta export to dict/JSON/CSV;
+* :mod:`repro.obs.trace` — a structured event tracer (bounded per-type
+  ring buffers of typed events stamped with virtual + wall time) with
+  JSONL and Chrome ``trace_event`` exporters;
+* :mod:`repro.obs.profiler` — a scheduler profiler aggregating wall time
+  and fire counts per callback site.
+
+:class:`Observatory` bundles them and rides on the simulator
+(``sim.obs``), so every layer — scheduler, queues, links, TCP,
+containers, C&C, exploits, churn — reports into one place.  The default
+is :data:`NULL_OBSERVATORY`: a no-op shell that keeps uninstrumented
+runs at seed-engine speed.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    NullInstrument,
+    NullRegistry,
+)
+from repro.obs.observatory import NULL_OBSERVATORY, NullObservatory, Observatory
+from repro.obs.profiler import SchedulerProfiler, site_of
+from repro.obs.trace import EventTracer, NULL_TRACER, NullTracer, TraceEvent
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_OBSERVATORY",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullInstrument",
+    "NullObservatory",
+    "NullRegistry",
+    "NullTracer",
+    "Observatory",
+    "SchedulerProfiler",
+    "TraceEvent",
+    "site_of",
+]

@@ -1,0 +1,342 @@
+"""The metrics registry: counters, gauges, histograms, labeled families.
+
+Prometheus-shaped but in-process and virtual-time friendly: components
+grab their instruments once (``registry.counter("queue_drops_total")``)
+and bump them on the hot path; exporters snapshot the whole registry to
+dict/JSON/CSV at any point of a run.  A *delta* between two snapshots
+gives per-window rates, which :mod:`repro.core.telemetry` uses for its
+sampled series.
+
+Instrumented code must stay near-zero-cost when nobody is measuring:
+:data:`NULL_REGISTRY` hands out a shared :class:`NullInstrument` whose
+mutators are no-op method calls, so modules can bind instruments
+unconditionally and never branch on "is observability on?".
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+#: default histogram buckets (seconds-ish scale: covers sub-ms callback
+#: wall times through multi-second transfer durations)
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _label_key(label_names: Tuple[str, ...], values: LabelValues) -> str:
+    """Canonical string key for one labeled child ("" when unlabeled)."""
+    if not label_names:
+        return ""
+    return ",".join(f"{n}={v}" for n, v in zip(label_names, values))
+
+
+class Counter:
+    """Monotonically increasing count.  ``inc`` is the only mutator."""
+
+    __slots__ = ("name", "label_key", "value")
+
+    def __init__(self, name: str, label_key: str = ""):
+        self.name = name
+        self.label_key = label_key
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down — or be computed on demand.
+
+    Callback gauges (``fn=...``) cost nothing until read: the framework
+    registers e.g. ``bots_connected`` against ``CncServer.bot_count`` and
+    the value is pulled only at sampling/export time.
+    """
+
+    __slots__ = ("name", "label_key", "_value", "fn")
+
+    def __init__(self, name: str, label_key: str = "",
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.label_key = label_key
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self.fn = None
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.fn = None
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self.fn = fn
+
+    @property
+    def value(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, Prometheus-style)."""
+
+    __slots__ = ("name", "label_key", "buckets", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, label_key: str = "",
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.label_key = label_key
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +1 = +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def bucket_dict(self) -> Dict[str, int]:
+        """Cumulative ``{le: count}`` mapping (ending with "+Inf")."""
+        out: Dict[str, int] = {}
+        cumulative = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            cumulative += n
+            out[f"{bound:g}"] = cumulative
+        out["+Inf"] = self.count
+        return out
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class NullInstrument:
+    """Shared no-op stand-in for every instrument kind.
+
+    One attribute-less method call per update — the price instrumented
+    hot paths pay when observability is off.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, *values: str):
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+NULL_INSTRUMENT = NullInstrument()
+
+_KIND_FACTORIES = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
+
+
+class MetricFamily:
+    """All children of one metric name, keyed by label values."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "children", "_kwargs")
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 label_names: Tuple[str, ...] = (), **kwargs):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.children: Dict[str, object] = {}
+        self._kwargs = kwargs
+
+    def labels(self, *values: str):
+        """The child instrument for one label-value combination."""
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected {len(self.label_names)} label values "
+                f"{self.label_names}, got {values!r}"
+            )
+        key = _label_key(self.label_names, tuple(str(v) for v in values))
+        child = self.children.get(key)
+        if child is None:
+            child = _KIND_FACTORIES[self.kind](self.name, key, **self._kwargs)
+            self.children[key] = child
+        return child
+
+
+class MetricsRegistry:
+    """Owns every metric family of one simulation run."""
+
+    def __init__(self) -> None:
+        self.families: Dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (idempotent per name; kind conflicts are errors)
+    # ------------------------------------------------------------------
+    def _family(self, name: str, kind: str, help: str,
+                label_names: Iterable[str], **kwargs) -> MetricFamily:
+        family = self.families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"cannot re-register as {kind}"
+                )
+            return family
+        family = MetricFamily(name, kind, help, tuple(label_names), **kwargs)
+        self.families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Iterable[str] = ()):
+        """A counter (unlabeled) or counter family (with ``labels``)."""
+        family = self._family(name, "counter", help, labels)
+        return family if family.label_names else family.labels()
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = (),
+              fn: Optional[Callable[[], float]] = None):
+        """A gauge; ``fn`` makes the unlabeled child a callback gauge."""
+        family = self._family(name, "gauge", help, labels)
+        if family.label_names:
+            return family
+        gauge = family.labels()
+        if fn is not None:
+            gauge.set_function(fn)
+        return gauge
+
+    def histogram(self, name: str, help: str = "", labels: Iterable[str] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        family = self._family(name, "histogram", help, labels, buckets=buckets)
+        return family if family.label_names else family.labels()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def value(self, name: str, label_key: str = "") -> float:
+        """Current value of one counter/gauge child (0.0 if absent)."""
+        family = self.families.get(name)
+        if family is None:
+            return 0.0
+        child = family.children.get(label_key)
+        if child is None:
+            return 0.0
+        return child.value if not isinstance(child, Histogram) else child.count
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """Everything, as ``{kind: {name: {label_key: value-ish}}}``."""
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, family in sorted(self.families.items()):
+            if family.kind == "counter":
+                out["counters"][name] = {
+                    key: child.value for key, child in sorted(family.children.items())
+                }
+            elif family.kind == "gauge":
+                out["gauges"][name] = {
+                    key: child.value for key, child in sorted(family.children.items())
+                }
+            else:
+                out["histograms"][name] = {
+                    key: {
+                        "count": child.count,
+                        "sum": child.sum,
+                        "mean": child.mean(),
+                        "buckets": child.bucket_dict(),
+                    }
+                    for key, child in sorted(family.children.items())
+                }
+        return out
+
+    @staticmethod
+    def delta(before: Dict[str, Dict], after: Dict[str, Dict]) -> Dict[str, Dict]:
+        """Counter/histogram-count differences between two snapshots.
+
+        Gauges are point-in-time and carry over from ``after`` unchanged.
+        """
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, children in after.get("counters", {}).items():
+            prior = before.get("counters", {}).get(name, {})
+            out["counters"][name] = {
+                key: value - prior.get(key, 0.0) for key, value in children.items()
+            }
+        out["gauges"] = dict(after.get("gauges", {}))
+        for name, children in after.get("histograms", {}).items():
+            prior = before.get("histograms", {}).get(name, {})
+            out["histograms"][name] = {
+                key: {
+                    "count": stats["count"] - prior.get(key, {}).get("count", 0),
+                    "sum": stats["sum"] - prior.get(key, {}).get("sum", 0.0),
+                }
+                for key, stats in children.items()
+            }
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """Flat rows: ``kind,name,labels,field,value`` (one per scalar)."""
+        lines = ["kind,name,labels,field,value"]
+        snapshot = self.snapshot()
+        for kind in ("counters", "gauges"):
+            for name, children in snapshot[kind].items():
+                for key, value in children.items():
+                    lines.append(f"{kind[:-1]},{name},{key},value,{value:g}")
+        for name, children in snapshot["histograms"].items():
+            for key, stats in children.items():
+                lines.append(f"histogram,{name},{key},count,{stats['count']}")
+                lines.append(f"histogram,{name},{key},sum,{stats['sum']:g}")
+        return "\n".join(lines) + "\n"
+
+
+class NullRegistry:
+    """Registry stand-in: hands out no-op instruments, exports nothing."""
+
+    def counter(self, name: str, help: str = "", labels: Iterable[str] = ()):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = (),
+              fn=None):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", labels: Iterable[str] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        return NULL_INSTRUMENT
+
+    def value(self, name: str, label_key: str = "") -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullRegistry()

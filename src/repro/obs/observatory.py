@@ -1,0 +1,100 @@
+"""The Observatory: one object bundling registry + tracer + profiler.
+
+Every :class:`repro.netsim.simulator.Simulator` carries an observatory
+(``sim.obs``); instrumented layers reach it through their simulator
+reference, so wiring the whole stack is a single
+``sim.attach_observatory(...)`` call.  The default is
+:data:`NULL_OBSERVATORY` — null registry, null tracer, no profiler —
+which keeps the uninstrumented hot path identical to the seed engine.
+
+``Observatory()`` (the :class:`DDoSim` default) carries a *real* registry
+but a null tracer: callback gauges and low-rate counters work, telemetry
+sources from the registry, and per-event tracing/profiling stays off.
+``Observatory.full()`` turns everything on for trace/metrics export runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
+from repro.obs.profiler import SchedulerProfiler
+from repro.obs.trace import EventTracer, NULL_TRACER
+
+
+class Observatory:
+    """Aggregation point for one simulation's measurement instruments."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+        profiler: Optional[SchedulerProfiler] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler
+
+    @classmethod
+    def full(cls, trace_capacity: int = 65536) -> "Observatory":
+        """Everything on: registry + ring-buffer tracer + profiler."""
+        return cls(
+            metrics=MetricsRegistry(),
+            tracer=EventTracer(capacity_per_type=trace_capacity),
+            profiler=SchedulerProfiler(),
+        )
+
+    @property
+    def instrumented(self) -> bool:
+        """True when the simulator must run its instrumented loop."""
+        return self.profiler is not None or self.tracer.enabled
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_metrics(self) -> dict:
+        """Registry snapshot with the scheduler family folded in."""
+        if self.profiler is not None and not isinstance(self.metrics, NullRegistry):
+            prof = self.profiler
+            self.metrics.gauge(
+                "sched_events_total", help="events dispatched by the scheduler"
+            ).set(prof.events)
+            self.metrics.gauge(
+                "sched_events_per_sec", help="scheduler dispatch throughput"
+            ).set(prof.events_per_sec())
+            self.metrics.gauge(
+                "sched_callback_wall_seconds", help="wall time spent in callbacks"
+            ).set(prof.wall_seconds)
+            self.metrics.gauge(
+                "sched_heap_high_water", help="peak pending-event heap depth"
+            ).set(prof.heap_high_water)
+        return self.metrics.snapshot()
+
+    def write_metrics_json(self, path: str) -> None:
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.export_metrics(), handle, indent=2, sort_keys=True)
+
+    def write_trace_chrome(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.tracer.to_chrome_json())
+
+    def write_trace_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.tracer.to_jsonl())
+
+
+class NullObservatory:
+    """The do-nothing default every bare Simulator starts with."""
+
+    metrics = NULL_REGISTRY
+    tracer = NULL_TRACER
+    profiler = None
+    instrumented = False
+
+    def export_metrics(self) -> dict:
+        return NULL_REGISTRY.snapshot()
+
+
+NULL_OBSERVATORY = NullObservatory()

@@ -1,0 +1,126 @@
+"""Scheduler profiler: wall-time and fire-count per callback site.
+
+The ROADMAP's scaling goal lives or dies on the event loop — flood runs
+push millions of events through :class:`repro.netsim.simulator.Simulator`
+— so the first question of every perf PR is "which callbacks burn the
+wall clock?".  The profiler answers it by aggregating, per callback
+*site* (module-qualified function name), how often it fired and how much
+wall time it consumed, plus loop-level aggregates: events/sec and the
+heap-depth high-water mark.
+
+It only runs when attached (the simulator switches to an instrumented
+loop); the unprofiled loop is byte-for-byte the seed hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class SiteStats:
+    """Aggregate for one callback site."""
+
+    __slots__ = ("site", "fires", "wall_seconds")
+
+    def __init__(self, site: str):
+        self.site = site
+        self.fires = 0
+        self.wall_seconds = 0.0
+
+    def mean_us(self) -> float:
+        return self.wall_seconds / self.fires * 1e6 if self.fires else 0.0
+
+
+def site_of(callback) -> str:
+    """Stable site key for a scheduled callback (module.qualname)."""
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is None:
+        return type(callback).__name__
+    module = getattr(callback, "__module__", "") or ""
+    return f"{module.rsplit('.', 1)[-1]}.{qualname}" if module else qualname
+
+
+class SchedulerProfiler:
+    """Aggregates per-site timings across one or more ``run()`` calls."""
+
+    def __init__(self) -> None:
+        self.sites: Dict[str, SiteStats] = {}
+        self.events = 0
+        self.wall_seconds = 0.0
+        self.heap_high_water = 0
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording (called from the simulator's instrumented loop)
+    # ------------------------------------------------------------------
+    def start_run(self) -> None:
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+
+    def record(self, callback, wall_dt: float) -> None:
+        key = site_of(callback)
+        stats = self.sites.get(key)
+        if stats is None:
+            stats = SiteStats(key)
+            self.sites[key] = stats
+        stats.fires += 1
+        stats.wall_seconds += wall_dt
+        self.events += 1
+        self.wall_seconds += wall_dt
+
+    def observe_heap_depth(self, depth: int) -> None:
+        if depth > self.heap_high_water:
+            self.heap_high_water = depth
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def events_per_sec(self) -> float:
+        """Events dispatched per wall second of callback execution."""
+        if self._started_at is not None:
+            elapsed = time.perf_counter() - self._started_at
+            if elapsed > 0:
+                return self.events / elapsed
+        return self.events / self.wall_seconds if self.wall_seconds else 0.0
+
+    def table(self, limit: Optional[int] = None) -> List[dict]:
+        """Hot sites sorted by total wall time, heaviest first."""
+        rows = [
+            {
+                "site": stats.site,
+                "fires": stats.fires,
+                "wall_seconds": stats.wall_seconds,
+                "mean_us": stats.mean_us(),
+            }
+            for stats in self.sites.values()
+        ]
+        rows.sort(key=lambda row: row["wall_seconds"], reverse=True)
+        return rows[:limit] if limit is not None else rows
+
+    def snapshot(self) -> dict:
+        return {
+            "events": self.events,
+            "wall_seconds": self.wall_seconds,
+            "events_per_sec": self.events_per_sec(),
+            "heap_high_water": self.heap_high_water,
+            "sites": self.table(),
+        }
+
+    def format_table(self, limit: int = 15) -> str:
+        """Human-readable hot-path report for the CLI."""
+        lines = [
+            f"{'site':<48} {'fires':>10} {'wall s':>10} {'mean µs':>10}",
+            "-" * 80,
+        ]
+        for row in self.table(limit):
+            lines.append(
+                f"{row['site']:<48.48} {row['fires']:>10d} "
+                f"{row['wall_seconds']:>10.4f} {row['mean_us']:>10.2f}"
+            )
+        lines.append(
+            f"total: {self.events} events, {self.wall_seconds:.3f} s in callbacks, "
+            f"{self.events_per_sec():,.0f} events/s, "
+            f"heap high-water {self.heap_high_water}"
+        )
+        return "\n".join(lines)
