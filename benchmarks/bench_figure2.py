@@ -26,12 +26,13 @@ def _sublinear(series):
     return last_marginal < first_marginal
 
 
-def test_figure2(benchmark, full):
+def test_figure2(benchmark, full, jobs):
     devs_grid = FIGURE2_DEVS_FULL if full else FIGURE2_DEVS_QUICK
 
     rows = benchmark.pedantic(
         run_figure2,
-        kwargs={"devs_grid": devs_grid, "churn_modes": FIGURE2_CHURN, "seed": 1},
+        kwargs={"devs_grid": devs_grid, "churn_modes": FIGURE2_CHURN,
+                "seed": 1, "jobs": jobs},
         rounds=1,
         iterations=1,
     )

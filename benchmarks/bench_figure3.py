@@ -24,7 +24,7 @@ from repro.core.results import format_table
 from benchmarks.conftest import banner
 
 
-def test_figure3(benchmark, full):
+def test_figure3(benchmark, full, jobs):
     devs_grid = FIGURE3_DEVS_FULL if full else FIGURE3_DEVS_QUICK
     base = SimulationConfig(n_devs=1, attack_payload_size=1400)
 
@@ -35,6 +35,7 @@ def test_figure3(benchmark, full):
             "durations": FIGURE3_DURATIONS,
             "seed": 1,
             "base_config": base,
+            "jobs": jobs,
         },
         rounds=1,
         iterations=1,

@@ -19,12 +19,12 @@ from repro.core.results import format_table
 from benchmarks.conftest import banner
 
 
-def test_figure4(benchmark, full):
+def test_figure4(benchmark, full, jobs):
     devs_grid = FIGURE4_DEVS_FULL if full else FIGURE4_DEVS_QUICK
 
     rows = benchmark.pedantic(
         run_figure4,
-        kwargs={"devs_grid": devs_grid, "seed": 1},
+        kwargs={"devs_grid": devs_grid, "seed": 1, "jobs": jobs},
         rounds=1,
         iterations=1,
     )

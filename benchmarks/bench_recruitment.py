@@ -13,11 +13,11 @@ from repro.core.results import format_table
 from benchmarks.conftest import banner
 
 
-def test_recruitment(benchmark, full):
+def test_recruitment(benchmark, full, jobs):
     n_devs = 24 if full else 10
 
     rows = benchmark.pedantic(
-        run_recruitment, kwargs={"n_devs": n_devs, "seed": 1},
+        run_recruitment, kwargs={"n_devs": n_devs, "seed": 1, "jobs": jobs},
         rounds=1, iterations=1,
     )
 

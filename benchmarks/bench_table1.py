@@ -35,9 +35,9 @@ def _mmss_to_seconds(text: str) -> int:
     return int(minutes) * 60 + int(seconds)
 
 
-def test_table1(benchmark):
+def test_table1(benchmark, jobs):
     rows = benchmark.pedantic(
-        run_table1, kwargs={"devs_grid": TABLE1_DEVS, "seed": 1},
+        run_table1, kwargs={"devs_grid": TABLE1_DEVS, "seed": 1, "jobs": jobs},
         rounds=1, iterations=1,
     )
 

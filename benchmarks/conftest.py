@@ -19,9 +19,23 @@ def full_grids() -> bool:
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
 
 
+def sweep_jobs() -> int:
+    """Worker processes for sweep benchmarks (``REPRO_JOBS=N``; 0 or
+    unset keeps the exact serial path)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
 @pytest.fixture(scope="session")
 def full() -> bool:
     return full_grids()
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    return sweep_jobs()
 
 
 def banner(title: str) -> None:

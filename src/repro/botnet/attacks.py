@@ -17,18 +17,40 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.netsim.address import Address
-from repro.netsim.headers import PROTO_TCP, TCP_ACK, TCP_SYN, TcpHeader
+from repro.netsim.address import Address, Ipv4Address
+from repro.netsim.headers import (
+    PROTO_TCP,
+    TCP_ACK,
+    TCP_SYN,
+    Ipv4Header,
+    Ipv6Header,
+    TcpHeader,
+    UdpHeader,
+)
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
 
 #: Mirai's default UDP payload size for udpplain (bytes)
 DEFAULT_PAYLOAD_SIZE = 512
 
-#: wire overhead per flood datagram (UDP 8 B + IPv6 40 B); pacing uses
-#: the *wire* size so a bot's emission exactly fills its access link
-#: instead of slowly overflowing its own queue
-UDP_IPV6_OVERHEAD = 48
+#: wire overhead per IPv6 flood datagram (UDP 8 B + IPv6 40 B); kept for
+#: callers that size buffers, but pacing derives the overhead from the
+#: target's actual address family via :func:`_udp_wire_overhead`
+UDP_IPV6_OVERHEAD = UdpHeader.wire_size + Ipv6Header.wire_size
+
+
+def _ip_wire_size(target: Address) -> int:
+    """IP header bytes for the target's address family."""
+    if isinstance(target, Ipv4Address):
+        return Ipv4Header.wire_size
+    return Ipv6Header.wire_size
+
+
+def _udp_wire_overhead(target: Address) -> int:
+    """UDP + IP header bytes per datagram toward ``target``; pacing uses
+    the *wire* size so a bot's emission exactly fills its access link
+    instead of slowly overflowing its own queue."""
+    return UdpHeader.wire_size + _ip_wire_size(target)
 
 
 @dataclass
@@ -60,6 +82,7 @@ def udp_plain_flood(
     rate_bps: Optional[float] = None,
     stats: Optional[AttackStats] = None,
     src_port: Optional[int] = None,
+    train: int = 1,
 ):
     """Generator: flood ``target`` with UDP junk for ``duration`` seconds.
 
@@ -67,26 +90,44 @@ def udp_plain_flood(
     effect is entirely in its wire footprint.  The emission rate defaults
     to the bot's own access-link rate (its uplink is the binding
     constraint for 100-500 kbps IoT devices).
+
+    ``train`` > 1 batches emission: each wakeup sends one
+    :class:`~repro.netsim.packet.PacketTrain` of ``train`` packets and
+    sleeps ``train`` intervals, cutting scheduler events per packet by
+    ~the train size at the same paced wire rate.  ``train=1`` is the
+    exact per-packet path.
     """
     from repro.netsim.process import Timeout
 
     if stats is None:
         stats = AttackStats()
+    if train < 1:
+        raise ValueError("train size must be >= 1")
     rate = rate_bps if rate_bps is not None else _device_rate_bps(node)
-    interval = (payload_size + UDP_IPV6_OVERHEAD) * 8.0 / rate
+    wire_size = payload_size + _udp_wire_overhead(target)
+    interval = wire_size * 8.0 / rate
     sim = node.sim
     udp = node.udp
     sport = src_port if src_port is not None else udp.allocate_ephemeral_port()
     stats.started_at = sim.now
     deadline = sim.now + duration
-    wire_size = payload_size + UDP_IPV6_OVERHEAD
-    while sim.now < deadline:
-        udp.send_datagram(
-            None, target, target_port, src_port=sport, payload_size=payload_size
-        )
-        stats.packets_sent += 1
-        stats.bytes_sent += wire_size  # wire bytes, comparable to the sink's
-        yield Timeout(sim, interval)
+    if train == 1:
+        while sim.now < deadline:
+            udp.send_datagram(
+                None, target, target_port, src_port=sport, payload_size=payload_size
+            )
+            stats.packets_sent += 1
+            stats.bytes_sent += wire_size  # wire bytes, comparable to the sink's
+            yield Timeout(sim, interval)
+    else:
+        wakeup = interval * train
+        while sim.now < deadline:
+            udp.send_train(
+                target, target_port, train, src_port=sport, payload_size=payload_size
+            )
+            stats.packets_sent += train
+            stats.bytes_sent += wire_size * train
+            yield Timeout(sim, wakeup)
     stats.finished_at = sim.now
     return stats
 
@@ -125,7 +166,7 @@ def _tcp_flag_flood(node, target, target_port, duration, flags, rate_bps, stats)
     if stats is None:
         stats = AttackStats()
     rate = rate_bps if rate_bps is not None else _device_rate_bps(node)
-    segment_size = TcpHeader.wire_size + 40  # TCP + IPv6 wire footprint
+    segment_size = TcpHeader.wire_size + _ip_wire_size(target)
     interval = max(segment_size * 8.0 / rate, 1e-4)
     sim = node.sim
     stats.started_at = sim.now

@@ -151,6 +151,7 @@ def _dispatch(ctx, sock, line: str, attack_processes: List[SimProcess]) -> None:
             return
         method, target_text, port_text, duration_text = arguments[:4]
         payload_size = int(arguments[4]) if len(arguments) > 4 else 512
+        train = int(arguments[5]) if len(arguments) > 5 else 1
         vector = ATTACK_VECTORS.get(method)
         if vector is None:
             ctx.log(f"mirai: unsupported attack {method!r}")
@@ -165,6 +166,7 @@ def _dispatch(ctx, sock, line: str, attack_processes: List[SimProcess]) -> None:
                 float(duration_text),
                 payload_size=payload_size,
                 stats=stats,
+                train=train,
             )
         else:
             flood = vector(

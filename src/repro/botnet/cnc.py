@@ -226,9 +226,16 @@ class CncServer:
         duration: float,
         payload_size: int = 512,
         method: str = "udpplain",
+        train: int = 1,
     ) -> AttackOrder:
-        """Broadcast an attack order; returns the recorded order."""
+        """Broadcast an attack order; returns the recorded order.
+
+        ``train`` > 1 is appended as an optional sixth argument (older
+        bots that only parse five simply flood unbatched).
+        """
         line = f"ATTACK {method} {target} {port} {duration:g} {payload_size}"
+        if train > 1:
+            line = f"{line} {train}"
         sent = self.broadcast(line)
         if self._sim is not None:
             obs = self._sim.obs

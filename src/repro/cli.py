@@ -48,6 +48,13 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
                         default="mixed")
     parser.add_argument("--payload", type=int, default=512,
                         help="UDP-PLAIN payload size (bytes)")
+    parser.add_argument("--scheduler", choices=("heap", "calendar"),
+                        default="heap",
+                        help="event scheduler (identical results, "
+                             "different speed)")
+    parser.add_argument("--train", type=int, default=1,
+                        help="flood packet-train size (1 = exact "
+                             "per-packet datapath)")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
@@ -62,6 +69,8 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         binary_mix=args.binary_mix,
         attack_payload_size=args.payload,
         sim_duration=max(600.0, args.duration + 150.0),
+        scheduler=args.scheduler,
+        flood_train=args.train,
     )
 
 
@@ -153,7 +162,7 @@ def cmd_figure2(args: argparse.Namespace) -> int:
 
     devs_grid = tuple(args.grid) if args.grid else (10, 50, 100, 150)
     rows = run_figure2(devs_grid=devs_grid, churn_modes=FIGURE2_CHURN,
-                       seed=args.seed)
+                       seed=args.seed, jobs=args.jobs)
     _emit_rows(rows, args)
     return 0
 
@@ -164,7 +173,8 @@ def cmd_figure3(args: argparse.Namespace) -> int:
 
     devs_grid = tuple(args.grid) if args.grid else (50, 100)
     base = SimulationConfig(n_devs=1, attack_payload_size=1400)
-    rows = run_figure3(devs_grid=devs_grid, seed=args.seed, base_config=base)
+    rows = run_figure3(devs_grid=devs_grid, seed=args.seed, base_config=base,
+                       jobs=args.jobs)
     _emit_rows(rows, args)
     return 0
 
@@ -174,7 +184,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     from repro.core.experiment import TABLE1_DEVS, run_table1
 
     devs_grid = tuple(args.grid) if args.grid else TABLE1_DEVS
-    rows = run_table1(devs_grid=devs_grid, seed=args.seed)
+    rows = run_table1(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs)
     _emit_rows(rows, args)
     return 0
 
@@ -184,7 +194,7 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     from repro.core.experiment import run_figure4
 
     devs_grid = tuple(args.grid) if args.grid else (1, 4, 7, 10, 13, 16, 19)
-    rows = run_figure4(devs_grid=devs_grid, seed=args.seed)
+    rows = run_figure4(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs)
     _emit_rows(rows, args)
     return 0
 
@@ -193,7 +203,7 @@ def cmd_recruitment(args: argparse.Namespace) -> int:
     """Regenerate the R1/R2 recruitment matrix."""
     from repro.core.experiment import run_recruitment
 
-    rows = run_recruitment(n_devs=args.devs, seed=args.seed)
+    rows = run_recruitment(n_devs=args.devs, seed=args.seed, jobs=args.jobs)
     _emit_rows(rows, args)
     return 0
 
@@ -262,6 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=1)
         sub.add_argument("--grid", type=int, nargs="+",
                          help="Devs grid (space separated)")
+        sub.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for grid points "
+                              "(1 = serial)")
         _add_output_args(sub)
         sub.set_defaults(func=func)
 
@@ -270,6 +283,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recruitment_parser.add_argument("--devs", type=int, default=10)
     recruitment_parser.add_argument("--seed", type=int, default=1)
+    recruitment_parser.add_argument("--jobs", type=int, default=1,
+                                    help="worker processes for grid points")
     _add_output_args(recruitment_parser)
     recruitment_parser.set_defaults(func=cmd_recruitment)
 

@@ -111,6 +111,14 @@ class SimulationConfig:
     # --- Network plumbing ----------------------------------------------
     queue_packets: int = 100
 
+    # --- Engine performance knobs --------------------------------------
+    #: event scheduler: "heap" (binary heap, default) or "calendar"
+    #: (NS-3-style calendar queue) — identical results, different speed
+    scheduler: str = "heap"
+    #: flood packet-train size: each bot wakeup emits this many packets
+    #: as one scheduled unit (1 = exact per-packet seed behaviour)
+    flood_train: int = 1
+
     def __post_init__(self) -> None:
         if self.n_devs <= 0:
             raise ValueError("n_devs must be positive")
@@ -141,6 +149,14 @@ class SimulationConfig:
                 f"dev_emulation must be 'container' or 'firmware', "
                 f"got {self.dev_emulation!r}"
             )
+        from repro.netsim.scheduler import SCHEDULER_NAMES
+
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULER_NAMES}, got {self.scheduler!r}"
+            )
+        if self.flood_train < 1:
+            raise ValueError("flood_train must be >= 1")
 
     @property
     def mean_dev_rate_bps(self) -> float:

@@ -8,6 +8,11 @@ Grids default to the paper's parameters.  Because the paper's own runs
 took minutes per point on real hardware, each runner accepts a reduced
 grid for quick passes; ``REPRO_FULL=1`` in the environment switches the
 benchmarks to the full published grids.
+
+Grid points are independent (each builds its own simulator from its own
+seed), so every sweep accepts ``jobs=N`` to shard points across worker
+processes via :mod:`repro.parallel` — same rows, sooner.  ``jobs=1``
+(the default) is the exact serial path.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.config import CHURN_DYNAMIC, CHURN_NONE, CHURN_STATIC, SimulationConfig
 from repro.core.framework import DDoSim
 from repro.core.results import RunResult
+from repro.parallel import run_configs, run_map
 
 #: the paper's grids
 FIGURE2_DEVS_FULL = (10, 30, 50, 70, 90, 110, 130, 150)
@@ -46,24 +52,28 @@ def run_figure2(
     churn_modes: Sequence[str] = FIGURE2_CHURN,
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """100-second attacks across a Devs x churn grid."""
-    rows: List[Dict[str, object]] = []
-    for churn in churn_modes:
-        for n_devs in devs_grid:
-            config = _derive(base_config, n_devs=n_devs, churn=churn, seed=seed)
-            result = run_single(config)
-            rows.append(
-                {
-                    "churn": churn,
-                    "n_devs": n_devs,
-                    "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
-                    "offered_kbps": round(result.attack.offered_kbps, 1),
-                    "bots_at_attack": result.attack.bots_commanded,
-                    "delivery_ratio": round(result.attack.delivery_ratio, 3),
-                }
-            )
-    return rows
+    points = [
+        (churn, n_devs) for churn in churn_modes for n_devs in devs_grid
+    ]
+    configs = [
+        _derive(base_config, n_devs=n_devs, churn=churn, seed=seed)
+        for churn, n_devs in points
+    ]
+    results = run_configs(configs, jobs=jobs)
+    return [
+        {
+            "churn": churn,
+            "n_devs": n_devs,
+            "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+            "offered_kbps": round(result.attack.offered_kbps, 1),
+            "bots_at_attack": result.attack.bots_commanded,
+            "delivery_ratio": round(result.attack.delivery_ratio, 3),
+        }
+        for (churn, n_devs), result in zip(points, results)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -74,29 +84,31 @@ def run_figure3(
     durations: Sequence[float] = FIGURE3_DURATIONS,
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
-    rows: List[Dict[str, object]] = []
-    for n_devs in devs_grid:
-        for duration in durations:
-            config = _derive(
-                base_config,
-                n_devs=n_devs,
-                attack_duration=duration,
-                seed=seed,
-                sim_duration=max(600.0, duration + 120.0),
-            )
-            result = run_single(config)
-            rows.append(
-                {
-                    "n_devs": n_devs,
-                    "attack_duration_s": duration,
-                    "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
-                    "received_mbit_total": round(
-                        result.attack.received_bytes * 8 / 1e6, 1
-                    ),
-                }
-            )
-    return rows
+    points = [
+        (n_devs, duration) for n_devs in devs_grid for duration in durations
+    ]
+    configs = [
+        _derive(
+            base_config,
+            n_devs=n_devs,
+            attack_duration=duration,
+            seed=seed,
+            sim_duration=max(600.0, duration + 120.0),
+        )
+        for n_devs, duration in points
+    ]
+    results = run_configs(configs, jobs=jobs)
+    return [
+        {
+            "n_devs": n_devs,
+            "attack_duration_s": duration,
+            "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+            "received_mbit_total": round(result.attack.received_bytes * 8 / 1e6, 1),
+        }
+        for (n_devs, duration), result in zip(points, results)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -106,44 +118,54 @@ def run_table1(
     devs_grid: Sequence[int] = TABLE1_DEVS,
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
-    rows: List[Dict[str, object]] = []
-    for n_devs in devs_grid:
-        config = _derive(base_config, n_devs=n_devs, seed=seed)
-        result = run_single(config)
-        rows.append(
-            {
-                "n_devs": n_devs,
-                "pre_attack_mem_gb": round(result.resources.pre_attack_mem_gb, 2),
-                "attack_mem_gb": round(result.resources.attack_mem_gb, 2),
-                "attack_time": result.resources.attack_time_mmss(),
-            }
-        )
-    return rows
+    configs = [
+        _derive(base_config, n_devs=n_devs, seed=seed) for n_devs in devs_grid
+    ]
+    results = run_configs(configs, jobs=jobs)
+    return [
+        {
+            "n_devs": n_devs,
+            "pre_attack_mem_gb": round(result.resources.pre_attack_mem_gb, 2),
+            "attack_mem_gb": round(result.resources.attack_mem_gb, 2),
+            "attack_time": result.resources.attack_time_mmss(),
+        }
+        for n_devs, result in zip(devs_grid, results)
+    ]
 
 
 # ----------------------------------------------------------------------
 # Figure 4: real-hardware model vs DDoSim
 # ----------------------------------------------------------------------
+def _figure4_point(config: SimulationConfig):
+    """One Figure 4 grid point: the DDoSim run plus its hardware twin
+    (module-level so it pickles for parallel sweeps)."""
+    from repro.hardware.testbed import HardwareTestbed
+
+    return run_single(config), HardwareTestbed(config).run()
+
+
 def run_figure4(
     devs_grid: Sequence[int] = FIGURE4_DEVS_QUICK,
     seed: int = 1,
     attack_duration: float = 60.0,
     base_config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
-    from repro.hardware.testbed import HardwareTestbed
-
-    rows: List[Dict[str, object]] = []
-    for n_devs in devs_grid:
-        config = _derive(
+    configs = [
+        _derive(
             base_config,
             n_devs=n_devs,
             seed=seed,
             attack_duration=attack_duration,
             sim_duration=attack_duration + 150.0,
         )
-        ddosim_result = run_single(config)
-        hardware_result = HardwareTestbed(config).run()
+        for n_devs in devs_grid
+    ]
+    pairs = run_map(_figure4_point, configs, jobs=jobs)
+    rows: List[Dict[str, object]] = []
+    for n_devs, (ddosim_result, hardware_result) in zip(devs_grid, pairs):
         sim_kbps = ddosim_result.attack.avg_received_kbps
         hw_kbps = hardware_result.attack.avg_received_kbps
         divergence = abs(sim_kbps - hw_kbps) / hw_kbps if hw_kbps else 0.0
@@ -165,32 +187,38 @@ def run_recruitment(
     n_devs: int = 16,
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Infection rate per (binary, protection profile) — the R2 answer."""
-    rows: List[Dict[str, object]] = []
-    for binary_mix in ("connman", "dnsmasq"):
-        for profile in ((), ("wx",), ("aslr",), ("wx", "aslr")):
-            config = _derive(
-                base_config,
-                n_devs=n_devs,
-                seed=seed,
-                binary_mix=binary_mix,
-                protection_profiles=(profile,),
-                attack_duration=10.0,
-                sim_duration=180.0,
-            )
-            result = run_single(config)
-            rows.append(
-                {
-                    "binary": binary_mix,
-                    "protections": "+".join(profile) or "none",
-                    "devs": n_devs,
-                    "recruited": result.recruitment.bots_recruited,
-                    "infection_rate": round(result.recruitment.infection_rate, 3),
-                    "leaks": result.recruitment.leaks_harvested,
-                }
-            )
-    return rows
+    points = [
+        (binary_mix, profile)
+        for binary_mix in ("connman", "dnsmasq")
+        for profile in ((), ("wx",), ("aslr",), ("wx", "aslr"))
+    ]
+    configs = [
+        _derive(
+            base_config,
+            n_devs=n_devs,
+            seed=seed,
+            binary_mix=binary_mix,
+            protection_profiles=(profile,),
+            attack_duration=10.0,
+            sim_duration=180.0,
+        )
+        for binary_mix, profile in points
+    ]
+    results = run_configs(configs, jobs=jobs)
+    return [
+        {
+            "binary": binary_mix,
+            "protections": "+".join(profile) or "none",
+            "devs": n_devs,
+            "recruited": result.recruitment.bots_recruited,
+            "infection_rate": round(result.recruitment.infection_rate, 3),
+            "leaks": result.recruitment.leaks_harvested,
+        }
+        for (binary_mix, profile), result in zip(points, results)
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -62,7 +62,7 @@ class DDoSim:
                  observatory: Optional[Observatory] = None):
         self.config = config
         self.rng = random.Random(f"{config.seed}-ddosim")
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=config.scheduler)
         # Attach before any component is built: instrumented layers bind
         # their counters/tracers from sim.obs at construction time.
         self.obs = self.sim.attach_observatory(
@@ -227,6 +227,7 @@ class DDoSim:
             config.attack_port,
             config.attack_duration,
             config.attack_payload_size,
+            train=config.flood_train,
         )
         self._attack_issued_at = order.issued_at
         yield Timeout(self.sim, config.attack_duration + config.cooldown)

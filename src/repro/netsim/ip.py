@@ -152,7 +152,7 @@ class IpStack:
             return self._send_multicast(packet, header)
         device = self._egress_for(destination)
         if device is None:
-            self.dropped_no_route += 1
+            self.dropped_no_route += packet.count
             return False
         return device.send(packet)
 
@@ -182,7 +182,7 @@ class IpStack:
             self._deliver(packet, header)
             return
         if not self.forwarding:
-            self.dropped_no_route += 1
+            self.dropped_no_route += packet.count
             return
         self._forward(packet, header, ingress)
 
@@ -197,25 +197,25 @@ class IpStack:
                 if device is ingress:
                     continue
                 clone = packet.copy()
-                self.forwarded += 1
+                self.forwarded += clone.count
                 device.send(clone)
         elif not delivered:
             self.dropped_no_route += 1
 
     def _forward(self, packet: Packet, header, ingress: NetDevice) -> None:
         if header.ttl <= 1:
-            self.dropped_ttl += 1
+            self.dropped_ttl += packet.count
             return
         header.ttl -= 1
         device = self._egress_for(header.dst)
         if device is None or device is ingress:
-            self.dropped_no_route += 1
+            self.dropped_no_route += packet.count
             return
-        self.forwarded += 1
+        self.forwarded += packet.count
         device.send(packet)
 
     def _deliver(self, packet: Packet, header) -> None:
-        self.delivered += 1
+        self.delivered += packet.count
         for tap in self.delivery_taps:
             tap(packet, header)
         packet.remove_header(type(header))

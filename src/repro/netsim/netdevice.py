@@ -47,10 +47,10 @@ class NetDevice:
     def receive(self, packet: Packet) -> None:
         """Deliver an arriving packet up to the node's IP layer."""
         if not self.up:
-            self.drops_down += 1
+            self.drops_down += packet.count
             return
-        self.rx_packets += 1
-        self.rx_bytes += packet.size
+        self.rx_packets += packet.count
+        self.rx_bytes += packet.size * packet.count
         if self.node is not None:
             self.node.ip.receive(packet, self)
 
@@ -93,7 +93,7 @@ class PointToPointDevice(NetDevice):
     def send(self, packet: Packet) -> bool:
         """Queue ``packet`` for transmission; False when dropped."""
         if not self.up:
-            self.drops_down += 1
+            self.drops_down += packet.count
             return False
         if not self.queue.enqueue(packet):
             return False
@@ -107,16 +107,23 @@ class PointToPointDevice(NetDevice):
             self._transmitting = False
             return
         self._transmitting = True
+        # Per-packet serialization delay; a train occupies the wire for
+        # count packets back to back.  Completion events are never
+        # cancelled, so the fire-and-forget freelist path applies.
         tx_delay = packet.size * 8.0 / self.data_rate_bps
-        self.sim.schedule(tx_delay, self._transmit_complete, packet)
+        count = packet.count
+        if count > 1:
+            packet.spacing = tx_delay  # sink reconstructs member arrivals
+            tx_delay = tx_delay * count
+        self.sim.schedule_bare(tx_delay, self._transmit_complete, packet)
 
     def _transmit_complete(self, packet: Packet) -> None:
         if self.up and self.channel is not None:
-            self.tx_packets += 1
-            self.tx_bytes += packet.size
+            self.tx_packets += packet.count
+            self.tx_bytes += packet.size * packet.count
             self.channel.transmit(self, packet)
         else:
-            self.drops_down += 1
+            self.drops_down += packet.count
         self._transmit_next()
 
     def set_down(self) -> None:

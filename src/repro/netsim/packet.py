@@ -10,6 +10,11 @@ A :class:`Packet` carries:
   :mod:`repro.core.resources` instead).
 * a header stack — transport/network/link headers pushed on send and
   popped on receive, mirroring ``Packet::AddHeader``/``RemoveHeader``.
+
+:class:`PacketTrain` extends this for the flood fast path: one packet
+object standing in for ``count`` identical back-to-back packets, so the
+datapath schedules one event per train instead of one per packet while
+queues/sinks still account every packet exactly.
 """
 
 from __future__ import annotations
@@ -28,10 +33,18 @@ class Packet:
     """A simulated packet.
 
     ``size`` always reflects the total wire size (payload plus all pushed
-    headers), which is what links serialize and queues count.
+    headers), which is what links serialize and queues count.  It is
+    cached and maintained incrementally on header push/pop — the flood
+    datapath reads it at every queue/device/channel touch.
     """
 
-    __slots__ = ("uid", "payload", "payload_size", "headers", "created_at")
+    __slots__ = ("uid", "payload", "payload_size", "headers", "created_at", "_size")
+
+    #: how many wire packets this object represents (PacketTrain overrides)
+    count: int = 1
+    #: inter-packet gap within a train, seconds (stamped by the last
+    #: serializing device; 0.0 for ordinary packets)
+    spacing: float = 0.0
 
     def __init__(
         self,
@@ -49,6 +62,7 @@ class Packet:
             self.payload_size = payload_size or 0
         self.headers: List[Header] = []
         self.created_at = created_at
+        self._size = self.payload_size
 
     # ------------------------------------------------------------------
     # Header stack
@@ -56,6 +70,7 @@ class Packet:
     def add_header(self, header: Header) -> None:
         """Push ``header`` on top of the stack (outermost last)."""
         self.headers.append(header)
+        self._size += header.wire_size
 
     def remove_header(self, header_type: Type[H]) -> H:
         """Pop the top header, asserting it is of ``header_type``."""
@@ -67,6 +82,7 @@ class Packet:
                 f"top header is {type(top).__name__}, expected {header_type.__name__}"
             )
         self.headers.pop()
+        self._size -= top.wire_size
         return top
 
     def peek_header(self, header_type: Type[H]) -> Optional[H]:
@@ -78,8 +94,15 @@ class Packet:
 
     @property
     def size(self) -> int:
-        """Total wire size in bytes: payload plus all pushed headers."""
-        return self.payload_size + sum(header.wire_size for header in self.headers)
+        """Wire size in bytes of *one* packet: payload plus all pushed
+        headers (for a train, the per-packet size — use ``total_size``
+        for bytes on the wire)."""
+        return self._size
+
+    @property
+    def total_size(self) -> int:
+        """Total bytes this object puts on the wire: ``size * count``."""
+        return self._size * self.count
 
     def copy(self) -> "Packet":
         """Shallow-copy the packet with a fresh uid (headers are shared
@@ -87,8 +110,49 @@ class Packet:
         clone = Packet(self.payload, None if self.payload is not None else self.payload_size,
                        self.created_at)
         clone.headers = list(self.headers)
+        clone._size = self._size
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         stack = "/".join(type(header).__name__ for header in reversed(self.headers))
         return f"<Packet #{self.uid} {self.size}B [{stack or 'raw'}]>"
+
+
+class PacketTrain(Packet):
+    """``count`` identical back-to-back packets carried as one unit.
+
+    The flood fast path sends trains so every queue/device/channel hop
+    costs one scheduled event per *train* rather than per packet.  The
+    header stack and ``size`` describe a single member packet; devices
+    serialize ``size * count`` bytes and stamp ``spacing`` (per-packet
+    serialization delay) so the sink can reconstruct each member's exact
+    arrival time.  With ``count == 1`` a train behaves bit-identically
+    to a plain :class:`Packet`.
+    """
+
+    __slots__ = ("count", "spacing")
+
+    def __init__(
+        self,
+        payload_size: int,
+        count: int,
+        created_at: float = 0.0,
+    ):
+        if count < 1:
+            raise ValueError("a train carries at least one packet")
+        super().__init__(None, payload_size, created_at)
+        self.count = count
+        self.spacing = 0.0
+
+    def copy(self) -> "PacketTrain":
+        clone = PacketTrain(self.payload_size, self.count, self.created_at)
+        clone.headers = list(self.headers)
+        clone._size = self._size
+        clone.spacing = self.spacing
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        stack = "/".join(type(header).__name__ for header in reversed(self.headers))
+        return (
+            f"<PacketTrain #{self.uid} {self.count}x{self.size}B [{stack or 'raw'}]>"
+        )

@@ -4,6 +4,12 @@ The paper's Figure 2 attributes the sublinear growth of received data rate
 to "congestion and collisions stemming from elevated network traffic";
 in this simulator that behaviour emerges from finite-rate links draining
 drop-tail queues — same mechanism NS-3's ``DropTailQueue`` provides.
+
+Capacity is accounted per *packet*, not per queue entry: a
+:class:`~repro.netsim.packet.PacketTrain` of K packets consumes K slots
+(and K x size bytes), and a train that only partially fits is split —
+the head is admitted, the overflowing tail dropped — so drop-tail
+overflow behaviour is exact regardless of train size.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ class DropTailQueue:
         self._queue: Deque[Packet] = deque()
         self.max_packets = max_packets
         self.max_bytes = max_bytes
+        self.packets_queued = 0
         self.bytes_queued = 0
         self.enqueued = 0
         self.dropped = 0
@@ -48,23 +55,42 @@ class DropTailQueue:
         )
 
     def __len__(self) -> int:
-        return len(self._queue)
+        """Queued *packet* count (a train of K counts K)."""
+        return self.packets_queued
 
     @property
     def empty(self) -> bool:
         return not self._queue
 
     def enqueue(self, packet: Packet) -> bool:
-        """Add ``packet``; returns False (and counts a drop) on overflow."""
-        if len(self._queue) >= self.max_packets:
-            self._record_drop(packet, "overflow_packets")
+        """Add ``packet``; returns False (and counts drops) on overflow.
+
+        A train that partially fits is split: the fitting head is
+        admitted (returns True) and the remainder is dropped.
+        """
+        count = packet.count
+        room = self.max_packets - self.packets_queued
+        if room <= 0:
+            self._record_drop(packet, "overflow_packets", count)
             return False
-        if self.max_bytes is not None and self.bytes_queued + packet.size > self.max_bytes:
-            self._record_drop(packet, "overflow_bytes")
-            return False
+        reason = "overflow_packets"
+        if self.max_bytes is not None and packet.size > 0:
+            byte_room = (self.max_bytes - self.bytes_queued) // packet.size
+            if byte_room < room:
+                room = byte_room
+                reason = "overflow_bytes"
+            if room <= 0:
+                self._record_drop(packet, reason, count)
+                return False
+        if count > room:
+            # Partial fit: admit the head of the train, drop the tail.
+            self._record_drop(packet, reason, count - room)
+            packet = packet.copy()
+            packet.count = count = room
         self._queue.append(packet)
-        self.bytes_queued += packet.size
-        self.enqueued += 1
+        self.packets_queued += count
+        self.bytes_queued += packet.size * count
+        self.enqueued += count
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -72,12 +98,13 @@ class DropTailQueue:
         if not self._queue:
             return None
         packet = self._queue.popleft()
-        self.bytes_queued -= packet.size
+        self.packets_queued -= packet.count
+        self.bytes_queued -= packet.size * packet.count
         return packet
 
     def clear(self) -> int:
         """Drop everything queued (link went down); returns packets lost."""
-        lost = len(self._queue)
+        lost = self.packets_queued
         self.dropped += lost
         if lost:
             self._drop_counter.inc(lost)
@@ -87,21 +114,22 @@ class DropTailQueue:
                     queue=self.name, reason="link_down", lost=lost,
                 )
         self._queue.clear()
+        self.packets_queued = 0
         self.bytes_queued = 0
         return lost
 
-    def _record_drop(self, packet: Packet, reason: str) -> None:
-        self.dropped += 1
-        self._drop_counter.inc()
+    def _record_drop(self, packet: Packet, reason: str, count: int = 1) -> None:
+        self.dropped += count
+        self._drop_counter.inc(count)
         if self._tracer.enabled and self._sim is not None:
             self._tracer.emit(
                 "queue.drop", self._sim.now,
                 queue=self.name, reason=reason, size=packet.size,
-                depth=len(self._queue),
+                lost=count, depth=self.packets_queued,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
-            f"<DropTailQueue {len(self._queue)}/{self.max_packets} pkts "
+            f"<DropTailQueue {self.packets_queued}/{self.max_packets} pkts "
             f"{self.bytes_queued}B dropped={self.dropped}>"
         )

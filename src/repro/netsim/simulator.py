@@ -2,22 +2,42 @@
 
 This is the heart of the NS-3 substitute.  NS-3 runs a single-threaded
 event loop over a priority queue of (time, uid) ordered events; we do the
-same with :mod:`heapq`.  Everything else in ``repro`` — links, transports,
-containers, binaries, the botnet — schedules callbacks here.
+same, behind a pluggable scheduler (:mod:`repro.netsim.scheduler`): the
+default binary heap, or an NS-3-style calendar queue that floods prefer.
+Everything else in ``repro`` — links, transports, containers, binaries,
+the botnet — schedules callbacks here.
 
-The scheduler is deliberately minimal and fast: DDoS-flood experiments push
-millions of events through it, so the hot path avoids allocation beyond the
-heap entries themselves.
+The scheduler is deliberately minimal and fast: DDoS-flood experiments
+push millions of events through it, so the hot path cuts allocation two
+ways:
+
+* :meth:`Simulator.schedule_bare` is a fire-and-forget variant of
+  :meth:`Simulator.schedule` that returns no handle and recycles its
+  event objects through a freelist — the datapath (device serialization,
+  channel propagation) uses it, because nobody ever cancels those events.
+* Cancelled events are tombstones; the simulator keeps an exact live
+  count (``pending_events``) and compacts the queue when tombstones
+  outnumber live events, so retransmit/churn cancellation storms cannot
+  bloat the queue.
 """
 
 from __future__ import annotations
 
-import heapq
 import time
-from typing import Any, Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Optional, Union
 
+from repro.netsim.scheduler import (
+    HeapScheduler,
+    SCHEDULER_NAMES,
+    make_scheduler,
+)
 from repro.obs.observatory import NULL_OBSERVATORY
 from repro.obs.profiler import site_of
+
+#: compaction trigger: tombstones must exceed this count *and* the live
+#: count before the queue is rebuilt (small queues never pay for it)
+COMPACT_MIN_TOMBSTONES = 64
 
 
 class SimulationError(RuntimeError):
@@ -29,10 +49,14 @@ class ScheduledEvent:
 
     Mirrors NS-3's ``EventId``: holding on to the handle lets callers
     ``cancel()`` the event before it fires (used heavily by retransmission
-    timers and churn).
+    timers and churn).  ``_sim`` backlinks to the owning simulator so a
+    cancellation updates its live-event accounting; it is cleared when the
+    event fires, making late ``cancel()`` calls harmless no-ops.
+    ``recycle`` marks freelist events (``schedule_bare``), which hand out
+    no handle and are reused after firing.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "recycle", "_sim")
 
     def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
         self.time = time
@@ -40,10 +64,17 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.recycle = False
+        self._sim = None
 
     def cancel(self) -> None:
         """Prevent the event's callback from running when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancel()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         if self.time != other.time:
@@ -60,21 +91,31 @@ class Simulator:
 
     Usage::
 
-        sim = Simulator()
+        sim = Simulator()                      # default binary heap
+        sim = Simulator(scheduler="calendar")  # NS-3-style calendar queue
         sim.schedule(1.0, lambda: print("one second"))
         sim.run(until=10.0)
 
     Events scheduled for the same instant fire in FIFO scheduling order
     (ties broken by a monotonically increasing sequence number), matching
-    NS-3 semantics and making runs fully deterministic.
+    NS-3 semantics and making runs fully deterministic — for *every*
+    scheduler choice, which is purely a performance knob.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: Union[str, object] = "heap") -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: List[ScheduledEvent] = []
+        if isinstance(scheduler, str):
+            self._sched = make_scheduler(scheduler)
+        else:
+            self._sched = scheduler
+        # The default heap's hot loop is inlined over its backing list.
+        self._heap = self._sched._heap if isinstance(self._sched, HeapScheduler) else None
         self._running = False
         self._stopped = False
+        self._live = 0        # scheduled, not yet fired or cancelled
+        self._tombstones = 0  # cancelled but still queued
+        self._free: list = []  # recycled schedule_bare event objects
         self.events_executed: int = 0
         #: observability hub (registry + tracer + profiler); the default
         #: null observatory keeps run() on the uninstrumented fast loop.
@@ -100,6 +141,11 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def scheduler_name(self) -> str:
+        """Registry name of the active scheduler (``SCHEDULER_NAMES``)."""
+        return getattr(self._sched, "name", type(self._sched).__name__)
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -117,13 +163,48 @@ class Simulator:
             )
         self._seq += 1
         event = ScheduledEvent(time, self._seq, callback, args)
-        heapq.heappush(self._heap, event)
+        event._sim = self
+        self._live += 1
+        self._sched.push(event)
         return event
 
     def schedule_now(self, callback: Callable, *args: Any) -> ScheduledEvent:
         """Schedule ``callback(*args)`` at the current instant (after the
         currently executing event completes)."""
         return self.schedule_at(self._now, callback, *args)
+
+    def schedule_bare(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, recycled events.
+
+        The event object comes from (and returns to) a freelist, so a
+        steady-state flood allocates no event objects at all.  Use only
+        where the caller drops the handle unconditionally — these events
+        cannot be cancelled, which is what makes recycling safe.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = self._now + delay
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+        else:
+            event = ScheduledEvent(self._now + delay, self._seq, callback, args)
+            event.recycle = True
+        self._live += 1
+        self._sched.push(event)
+
+    def _note_cancel(self) -> None:
+        """Live/tombstone bookkeeping for one cancellation; compacts the
+        queue when tombstones dominate (in place, so the run loop's alias
+        of the heap stays valid)."""
+        self._live -= 1
+        self._tombstones += 1
+        if self._tombstones > COMPACT_MIN_TOMBSTONES and self._tombstones > self._live:
+            self._tombstones -= self._sched.remove_cancelled()
 
     # ------------------------------------------------------------------
     # Execution
@@ -140,58 +221,105 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
-        heap = self._heap
         try:
             if self.obs.instrumented:
                 self._run_instrumented(until)
+            elif self._heap is not None:
+                self._run_heap(until)
             else:
-                while heap and not self._stopped:
-                    event = heap[0]
-                    if until is not None and event.time > until:
-                        break
-                    heapq.heappop(heap)
-                    if event.cancelled:
-                        continue
-                    self._now = event.time
-                    self.events_executed += 1
-                    event.callback(*event.args)
+                self._run_generic(until)
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         return self._now
 
-    def _run_instrumented(self, until: Optional[float]) -> None:
-        """The observed run loop: per-site wall timing, heap high-water,
-        and ``sched.fire`` trace events.  Split from :meth:`run` so the
-        default loop stays byte-for-byte the seed hot path."""
+    def _run_heap(self, until: Optional[float]) -> None:
+        """The inlined hot loop for the default binary-heap scheduler."""
         heap = self._heap
+        free = self._free
+        while heap and not self._stopped:
+            event = heap[0]
+            if until is not None and event.time > until:
+                break
+            heappop(heap)
+            if event.cancelled:
+                self._tombstones -= 1
+                continue
+            self._now = event.time
+            self._live -= 1
+            self.events_executed += 1
+            callback = event.callback
+            args = event.args
+            if event.recycle:
+                event.callback = event.args = None  # drop refs for reuse
+                free.append(event)
+            else:
+                event._sim = None  # fired: late cancel() is a no-op
+            callback(*args)
+
+    def _run_generic(self, until: Optional[float]) -> None:
+        """Scheduler-agnostic loop (calendar queue and custom schedulers)."""
+        sched = self._sched
+        free = self._free
+        while not self._stopped:
+            event = sched.pop_next(until)
+            if event is None:
+                break
+            if event.cancelled:
+                self._tombstones -= 1
+                continue
+            self._now = event.time
+            self._live -= 1
+            self.events_executed += 1
+            callback = event.callback
+            args = event.args
+            if event.recycle:
+                event.callback = event.args = None
+                free.append(event)
+            else:
+                event._sim = None
+            callback(*args)
+
+    def _run_instrumented(self, until: Optional[float]) -> None:
+        """The observed run loop: per-site wall timing, queue high-water,
+        and ``sched.fire`` trace events.  Split from :meth:`run` so the
+        default loop stays the uninstrumented hot path."""
+        sched = self._sched
+        free = self._free
         profiler = self.obs.profiler
         tracer = self.obs.tracer
         trace_on = tracer.enabled
         perf = time.perf_counter
         if profiler is not None:
             profiler.start_run()
-        while heap and not self._stopped:
-            event = heap[0]
-            if until is not None and event.time > until:
+        while not self._stopped:
+            if profiler is not None and len(sched) > profiler.heap_high_water:
+                profiler.heap_high_water = len(sched)
+            event = sched.pop_next(until)
+            if event is None:
                 break
-            if profiler is not None and len(heap) > profiler.heap_high_water:
-                profiler.heap_high_water = len(heap)
-            heapq.heappop(heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             self._now = event.time
+            self._live -= 1
             self.events_executed += 1
             callback = event.callback
+            args = event.args
+            if event.recycle:
+                event.callback = event.args = None
+                free.append(event)
+            else:
+                event._sim = None
             if trace_on:
                 tracer.emit("sched.fire", self._now, site=site_of(callback))
             if profiler is not None:
                 started = perf()
-                callback(*event.args)
+                callback(*args)
                 profiler.record(callback, perf() - started)
             else:
-                callback(*event.args)
+                callback(*args)
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""
@@ -199,14 +327,24 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[float]:
         """Virtual time of the next pending (non-cancelled) event, if any."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        self._tombstones -= self._sched.drop_cancelled_head()
+        event = self._sched.peek()
+        return event.time if event is not None else None
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled tombstones)."""
-        return len(self._heap)
+        """Number of *live* events still queued (cancelled tombstones
+        excluded — they are queue debris awaiting compaction)."""
+        return self._live
+
+    @property
+    def queued_entries(self) -> int:
+        """Raw queue length including cancelled tombstones (what the
+        queue physically holds; profiler high-water tracks this)."""
+        return len(self._sched)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"
+        return (
+            f"<Simulator t={self._now:.6f} pending={self._live} "
+            f"tombstones={self._tombstones} sched={self.scheduler_name}>"
+        )

@@ -47,19 +47,33 @@ class PacketSink(Application):
         # (headers were popped on the way up; recompute their cost).
         size = packet.payload_size + udp_header.wire_size + type(ip_header).wire_size
         now = self.sim.now
-        self.total_packets += 1
-        self.total_bytes += size
-        self.bytes_per_bin[int(now / self.bin_width)] += size
-        if self.first_packet_time is None:
-            self.first_packet_time = now
+        count = packet.count
+        self.total_packets += count
+        self.total_bytes += size * count
+        if count == 1:
+            self.bytes_per_bin[int(now / self.bin_width)] += size
+            if self.first_packet_time is None:
+                self.first_packet_time = now
+        else:
+            # A train arrives as one event stamped with the last member's
+            # time; reconstruct each member's arrival from the per-packet
+            # serialization spacing so the rate bins stay exact.
+            spacing = packet.spacing
+            first_arrival = now - (count - 1) * spacing
+            bins = self.bytes_per_bin
+            width = self.bin_width
+            for member in range(count):
+                bins[int((first_arrival + member * spacing) / width)] += size
+            if self.first_packet_time is None:
+                self.first_packet_time = first_arrival
         self.last_packet_time = now
         key = (ip_header.src, udp_header.src_port)
         entry = self.per_source.get(key)
         if entry is None:
-            self.per_source[key] = [1, size]
+            self.per_source[key] = [count, size * count]
         else:
-            entry[0] += 1
-            entry[1] += size
+            entry[0] += count
+            entry[1] += size * count
 
     # ------------------------------------------------------------------
     # Analysis helpers

@@ -1,0 +1,126 @@
+"""Parallel sweep sharding: jobs=N must be a pure wall-clock knob.
+
+Grid points share nothing (each builds its own simulator from its own
+seeded config), so sharding across worker processes may never change a
+row.  These tests pin that contract: serial and parallel execution
+produce identical results, in input order, and merged metric snapshots
+aggregate exactly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.parallel import (
+    default_jobs,
+    merge_metric_snapshots,
+    run_configs,
+    run_configs_with_metrics,
+    run_map,
+)
+
+
+def _square(value):
+    return value * value
+
+
+class TestRunMap:
+    def test_serial_path_preserves_order(self):
+        assert run_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_path_preserves_order(self):
+        items = list(range(20))
+        assert run_map(_square, items, jobs=4) == [v * v for v in items]
+
+    def test_single_item_short_circuits_pool(self):
+        assert run_map(_square, [7], jobs=8) == [49]
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+def _tiny_config(seed):
+    return SimulationConfig(
+        n_devs=4,
+        seed=seed,
+        attack_duration=5.0,
+        sim_duration=30.0,
+    )
+
+
+class TestRunConfigs:
+    def test_parallel_results_identical_to_serial(self):
+        configs = [_tiny_config(seed) for seed in (1, 2, 3)]
+        serial = run_configs(configs, jobs=1)
+        parallel = run_configs(configs, jobs=3)
+        assert [dataclasses.asdict(r) for r in serial] == [
+            dataclasses.asdict(r) for r in parallel
+        ]
+
+    def test_metrics_variant_matches_and_merges(self):
+        configs = [_tiny_config(seed) for seed in (1, 2)]
+        serial_results, serial_merged = run_configs_with_metrics(configs, jobs=1)
+        parallel_results, parallel_merged = run_configs_with_metrics(configs, jobs=2)
+        assert [dataclasses.asdict(r) for r in serial_results] == [
+            dataclasses.asdict(r) for r in parallel_results
+        ]
+        assert serial_merged == parallel_merged
+        # Every run schedules events, so the merged counter must cover
+        # both runs (strictly more than either one alone).
+        counters = serial_merged["counters"]
+        assert counters, "runs must export at least one counter"
+
+
+class TestSweepEquivalence:
+    def test_figure2_rows_identical_across_jobs(self):
+        from repro.core.experiment import run_figure2
+
+        base = SimulationConfig(
+            n_devs=1, attack_duration=5.0, sim_duration=30.0
+        )
+        serial = run_figure2(
+            devs_grid=(2, 4), churn_modes=("none",), seed=3, base_config=base,
+            jobs=1,
+        )
+        parallel = run_figure2(
+            devs_grid=(2, 4), churn_modes=("none",), seed=3, base_config=base,
+            jobs=2,
+        )
+        assert serial == parallel
+
+
+class TestMergeMetricSnapshots:
+    def test_counters_sum_per_label(self):
+        merged = merge_metric_snapshots([
+            {"counters": {"events": {"": 3, "a=1": 2}}},
+            {"counters": {"events": {"": 4}}},
+        ])
+        assert merged["counters"]["events"] == {"": 7, "a=1": 2}
+
+    def test_gauges_keep_high_water_mark(self):
+        merged = merge_metric_snapshots([
+            {"gauges": {"depth": {"": 9}}},
+            {"gauges": {"depth": {"": 4}}},
+        ])
+        assert merged["gauges"]["depth"] == {"": 9}
+
+    def test_histograms_sum_and_recompute_mean(self):
+        merged = merge_metric_snapshots([
+            {"histograms": {"lat": {"": {
+                "count": 2, "sum": 4.0, "mean": 2.0, "buckets": {"1": 1, "inf": 2},
+            }}}},
+            {"histograms": {"lat": {"": {
+                "count": 2, "sum": 8.0, "mean": 4.0, "buckets": {"inf": 2},
+            }}}},
+        ])
+        hist = merged["histograms"]["lat"][""]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(12.0)
+        assert hist["mean"] == pytest.approx(3.0)
+        assert hist["buckets"] == {"1": 1, "inf": 4}
+
+    def test_empty_input_yields_empty_families(self):
+        assert merge_metric_snapshots([]) == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }

@@ -1,0 +1,198 @@
+"""Pluggable-scheduler semantics: calendar queue, freelist, tombstones.
+
+The load-bearing property is at the bottom: for the same workload, every
+scheduler dispatches the identical event sequence — scheduler choice is a
+performance knob, never a semantics knob.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.netsim.scheduler import (
+    CalendarScheduler,
+    HeapScheduler,
+    SCHEDULER_NAMES,
+    make_scheduler,
+)
+from repro.netsim.simulator import ScheduledEvent, SimulationError, Simulator
+
+
+def _event(time, seq):
+    return ScheduledEvent(time, seq, lambda: None, ())
+
+
+class TestMakeScheduler:
+    def test_known_names(self):
+        assert isinstance(make_scheduler("heap"), HeapScheduler)
+        assert isinstance(make_scheduler("calendar"), CalendarScheduler)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("linked-list")
+
+    def test_registry_covers_all_names(self):
+        for name in SCHEDULER_NAMES:
+            assert make_scheduler(name).name == name
+
+
+class TestCalendarScheduler:
+    def test_orders_events_across_buckets(self):
+        sched = CalendarScheduler(width=0.5, n_buckets=4)
+        times = [3.7, 0.1, 12.9, 0.6, 7.3, 0.1]
+        for seq, t in enumerate(times):
+            sched.push(_event(t, seq))
+        popped = []
+        while True:
+            event = sched.pop_next()
+            if event is None:
+                break
+            popped.append((event.time, event.seq))
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)
+
+    def test_fifo_ties_within_bucket(self):
+        sched = CalendarScheduler()
+        first, second = _event(1.0, 1), _event(1.0, 2)
+        sched.push(second)
+        sched.push(first)
+        assert sched.pop_next() is first
+        assert sched.pop_next() is second
+
+    def test_pop_respects_limit(self):
+        sched = CalendarScheduler()
+        sched.push(_event(5.0, 1))
+        assert sched.pop_next(limit=4.9) is None
+        assert len(sched) == 1
+        assert sched.pop_next(limit=5.0).time == 5.0
+
+    def test_resize_preserves_order(self):
+        sched = CalendarScheduler(n_buckets=2)
+        rng = random.Random(9)
+        times = [rng.random() * 100 for _ in range(500)]
+        for seq, t in enumerate(times):
+            sched.push(_event(t, seq))  # triggers several doublings
+        out = []
+        while len(sched):
+            out.append(sched.pop_next().time)
+        assert out == sorted(times)
+
+    def test_remove_cancelled_compacts(self):
+        sched = CalendarScheduler()
+        events = [_event(float(i), i) for i in range(10)]
+        for event in events:
+            sched.push(event)
+        for event in events[::2]:
+            event.cancelled = True
+        assert sched.remove_cancelled() == 5
+        assert len(sched) == 5
+
+    def test_far_future_tail_is_found(self):
+        # Events more than a "year" past the cursor exercise the direct
+        # min-scan fallback.
+        sched = CalendarScheduler(width=0.001, n_buckets=4)
+        sched.push(_event(10_000.0, 1))
+        assert sched.peek().time == 10_000.0
+        assert sched.pop_next().time == 10_000.0
+
+
+class TestSimulatorScheduling:
+    def test_config_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            SimulationConfig(scheduler="fifo")
+
+    def test_scheduler_name_property(self):
+        assert Simulator().scheduler_name == "heap"
+        assert Simulator(scheduler="calendar").scheduler_name == "calendar"
+
+    def test_schedule_bare_fires_in_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_bare(0.2, fired.append, "late")
+        sim.schedule_bare(0.1, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_schedule_bare_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_bare(-0.1, lambda: None)
+
+    def test_schedule_bare_recycles_event_objects(self):
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule_bare(0.1, chain, remaining - 1)
+
+        chain(100)
+        sim.run()
+        # Strictly sequential wakeups reuse a single freelist event.
+        assert sim.events_executed == 100
+        assert len(sim._free) == 1
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        drop.cancel()
+        assert sim.pending_events == 1
+        assert keep is not drop
+
+    def test_cancel_after_fire_keeps_live_count_exact(self):
+        sim = Simulator()
+        handle = sim.schedule(0.5, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        handle.cancel()  # late cancel must be a no-op
+        assert sim.pending_events == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 0
+        sim.run()
+        assert sim.events_executed == 0
+
+    def test_tombstone_compaction_shrinks_queue(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i * 1e-3, lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        # Compaction fires once cancellations outnumber live events, so
+        # the physical queue holds far fewer than 150 tombstones.
+        assert sim.pending_events == 50
+        assert sim.queued_entries < 100
+        sim.run()
+        assert sim.events_executed == 50
+
+
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def test_schedulers_dispatch_identically(name):
+    """Same churn-heavy workload, identical firing sequence per scheduler."""
+
+    def workload(sim):
+        rng = random.Random(1234)
+        order = []
+        handles = []
+
+        def callback(tag):
+            order.append((sim.now, tag))
+            if tag % 3 == 0 and sim.now < 4.0:
+                handles.append(sim.schedule(rng.random(), callback, tag + 1000))
+            if tag % 5 == 0 and handles:
+                handles.pop(rng.randrange(len(handles))).cancel()
+            if tag % 2 == 0 and sim.now < 4.0:
+                sim.schedule_bare(rng.random() * 0.3, callback, tag + 1)
+
+        for index in range(300):
+            sim.schedule(rng.random() * 2.0, callback, index)
+        sim.run(until=8.0)
+        return order
+
+    baseline = workload(Simulator(scheduler="heap"))
+    assert workload(Simulator(scheduler=name)) == baseline
+    assert len(baseline) > 300

@@ -1,0 +1,254 @@
+"""Packet-train datapath: exact per-packet accounting in batched form.
+
+The contract: a train of K packets is one scheduled unit everywhere, yet
+every counter (queue occupancy, drops, device/link/sink bytes and
+packets) reads exactly as if K individual packets had flowed — and with
+K=1 the datapath is bit-identical to the per-packet seed behaviour.
+"""
+
+import pytest
+
+from repro.netsim.address import Ipv6Address
+from repro.netsim.channel import PointToPointChannel
+from repro.netsim.headers import UdpHeader
+from repro.netsim.netdevice import PointToPointDevice
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet, PacketTrain
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.simulator import Simulator
+from repro.netsim.sink import PacketSink
+from repro.netsim.topology import StarInternet
+
+
+class TestPacketSizeCache:
+    def test_size_tracks_header_pushes_and_pops(self):
+        packet = Packet(payload_size=100)
+        assert packet.size == 100
+        packet.add_header(UdpHeader(1, 2))
+        assert packet.size == 108
+        packet.remove_header(UdpHeader)
+        assert packet.size == 100
+
+    def test_copy_carries_cached_size(self):
+        packet = Packet(payload_size=64)
+        packet.add_header(UdpHeader(1, 2))
+        clone = packet.copy()
+        assert clone.size == packet.size == 72
+
+    def test_plain_packet_counts_one(self):
+        packet = Packet(payload_size=10)
+        assert packet.count == 1
+        assert packet.spacing == 0.0
+        assert packet.total_size == 10
+
+
+class TestPacketTrain:
+    def test_total_size_multiplies(self):
+        train = PacketTrain(512, 8)
+        train.add_header(UdpHeader(1, 2))
+        assert train.size == 520
+        assert train.total_size == 520 * 8
+
+    def test_rejects_empty_train(self):
+        with pytest.raises(ValueError):
+            PacketTrain(512, 0)
+
+    def test_copy_preserves_count_and_spacing(self):
+        train = PacketTrain(100, 4)
+        train.spacing = 0.25
+        clone = train.copy()
+        assert clone.count == 4 and clone.spacing == 0.25
+
+
+class TestQueueTrainAccounting:
+    def test_train_consumes_member_slots(self):
+        queue = DropTailQueue(max_packets=10)
+        assert queue.enqueue(PacketTrain(100, 7))
+        assert len(queue) == 7
+        assert queue.bytes_queued == 700
+
+    def test_partial_train_is_split_and_tail_dropped(self):
+        queue = DropTailQueue(max_packets=10)
+        assert queue.enqueue(PacketTrain(100, 8))
+        assert queue.enqueue(PacketTrain(100, 8))  # only 2 of 8 fit
+        assert len(queue) == 10
+        assert queue.dropped == 6
+        head = queue.dequeue()
+        tail = queue.dequeue()
+        assert head.count == 8 and tail.count == 2
+
+    def test_full_queue_drops_whole_train(self):
+        queue = DropTailQueue(max_packets=4)
+        assert queue.enqueue(PacketTrain(100, 4))
+        assert not queue.enqueue(PacketTrain(100, 5))
+        assert queue.dropped == 5
+
+    def test_byte_capacity_splits_train(self):
+        queue = DropTailQueue(max_packets=100, max_bytes=250)
+        assert queue.enqueue(PacketTrain(100, 4))  # 2 of 4 fit by bytes
+        assert len(queue) == 2
+        assert queue.bytes_queued == 200
+        assert queue.dropped == 2
+
+    def test_dequeue_restores_capacity(self):
+        queue = DropTailQueue(max_packets=8)
+        queue.enqueue(PacketTrain(50, 8))
+        queue.dequeue()
+        assert len(queue) == 0
+        assert queue.enqueue(Packet(payload_size=50))
+
+
+def _run_flood(train, packets=240, rate=1e6):
+    """Burst ``packets`` over a single-hop link; returns
+    (sim, sink, sender_device).
+
+    Single-hop because a train crosses each store-and-forward hop as one
+    unit: the sink backs the last serialization out of member arrival
+    times, so per-member timing is exact over one hop and shifts by
+    ``(K-1) * tx_delay`` per additional hop.  Deep queues keep the burst
+    drop-free — equivalence is only exact when every packet survives.
+    """
+    sim = Simulator()
+    sender = Node(sim, "sender")
+    receiver = Node(sim, "receiver")
+    channel = PointToPointChannel(sim, delay=0.002)
+    dev_s = PointToPointDevice(sim, rate, DropTailQueue(512), name="s-eth0")
+    dev_r = PointToPointDevice(sim, rate, DropTailQueue(512), name="r-eth0")
+    sender.add_device(dev_s)
+    receiver.add_device(dev_r)
+    channel.attach(dev_s)
+    channel.attach(dev_r)
+    src = Ipv6Address.parse("fd00::1")
+    destination = Ipv6Address.parse("fd00::2")
+    sender.ip.add_address(dev_s, src)
+    receiver.ip.add_address(dev_r, destination)
+    sender.ip.add_route(destination, dev_s)
+    sink = PacketSink(receiver)
+    sink.start()
+    if train == 1:
+        for _ in range(packets):
+            sender.udp.send_datagram(
+                None, destination, 7777, src_port=9, payload_size=512
+            )
+    else:
+        for _ in range(packets // train):
+            sender.udp.send_train(
+                destination, 7777, train, src_port=9, payload_size=512
+            )
+    sim.run()
+    return sim, sink, dev_s
+
+
+class TestTrainEquivalence:
+    def test_sink_totals_match_per_packet_path(self):
+        _sim1, sink1, dev1 = _run_flood(train=1)
+        _simk, sinkk, devk = _run_flood(train=8)
+        assert sinkk.total_packets == sink1.total_packets == 240
+        assert sinkk.total_bytes == sink1.total_bytes
+        assert devk.tx_packets == dev1.tx_packets
+        assert devk.tx_bytes == dev1.tx_bytes
+
+    def test_rate_bins_match_per_packet_path(self):
+        _sim1, sink1, _ = _run_flood(train=1)
+        _simk, sinkk, _ = _run_flood(train=8)
+        assert dict(sinkk.bytes_per_bin) == dict(sink1.bytes_per_bin)
+
+    def test_arrival_window_matches(self):
+        _sim1, sink1, _ = _run_flood(train=1)
+        _simk, sinkk, _ = _run_flood(train=8)
+        assert sinkk.first_packet_time == pytest.approx(sink1.first_packet_time)
+        assert sinkk.last_packet_time == pytest.approx(sink1.last_packet_time)
+
+    def test_trains_collapse_scheduled_events(self):
+        sim1, _, _ = _run_flood(train=1)
+        simk, _, _ = _run_flood(train=8)
+        assert simk.events_executed * 3 < sim1.events_executed
+
+    def test_per_source_accounting_matches(self):
+        _sim1, sink1, _ = _run_flood(train=1)
+        _simk, sinkk, _ = _run_flood(train=8)
+        assert {
+            (str(addr), port): tuple(entry)
+            for (addr, port), entry in sinkk.per_source.items()
+        } == {
+            (str(addr), port): tuple(entry)
+            for (addr, port), entry in sink1.per_source.items()
+        }
+
+    def test_multihop_counts_match_exactly(self):
+        """Across the star's router, member timing shifts but every
+        counter (packets, bytes, per-source) still matches per-packet."""
+
+        def run(train):
+            sim = Simulator()
+            star = StarInternet(sim)
+            sender = Node(sim, "sender")
+            receiver = Node(sim, "receiver")
+            star.attach_host(sender, 1e6, delay=0.002, queue_packets=512)
+            star.attach_host(receiver, 1e6, delay=0.002, queue_packets=512)
+            sink = PacketSink(receiver)
+            sink.start()
+            destination = star.address_of(receiver)
+            for _ in range(240 // train):
+                if train == 1:
+                    sender.udp.send_datagram(
+                        None, destination, 7777, src_port=9, payload_size=512
+                    )
+                else:
+                    sender.udp.send_train(
+                        destination, 7777, train, src_port=9, payload_size=512
+                    )
+            sim.run()
+            return sink
+
+        sink1 = run(1)
+        sinkk = run(8)
+        assert sinkk.total_packets == sink1.total_packets == 240
+        assert sinkk.total_bytes == sink1.total_bytes
+        assert sum(sinkk.bytes_per_bin.values()) == sum(sink1.bytes_per_bin.values())
+
+
+class TestFloodGeneratorTrains:
+    def test_udp_plain_flood_train_paces_same_rate(self):
+        from repro.botnet.attacks import AttackStats, udp_plain_flood
+        from repro.netsim.process import SimProcess
+
+        def build(train):
+            sim = Simulator()
+            star = StarInternet(sim)
+            bot = Node(sim, "bot")
+            tserver = Node(sim, "tserver")
+            star.attach_host(bot, 250e3, delay=0.002)
+            star.attach_host(tserver, 30e6, delay=0.002)
+            sink = PacketSink(tserver)
+            sink.start()
+            stats = AttackStats()
+            flood = udp_plain_flood(
+                bot, star.address_of(tserver), 7777, duration=20.0,
+                payload_size=512, stats=stats, src_port=4000, train=train,
+            )
+            SimProcess(sim, flood, name="flood")
+            sim.run(until=40.0)
+            return stats, sink
+
+        stats1, sink1 = build(1)
+        statsk, sinkk = build(8)
+        # Same paced wire rate: equal bytes out per unit time (trains may
+        # round the packet count to a multiple of K).
+        assert statsk.bytes_sent == pytest.approx(stats1.bytes_sent, rel=0.05)
+        assert sinkk.total_bytes == pytest.approx(sink1.total_bytes, rel=0.05)
+        assert statsk.packets_sent % 8 == 0
+
+    def test_attack_order_carries_train_argument(self):
+        from repro.botnet.cnc import CncServer
+
+        cnc = CncServer.__new__(CncServer)
+        cnc.attack_orders = []
+        cnc.standing_orders = []
+        cnc._sim = None
+        sent_lines = []
+        cnc.broadcast = sent_lines.append  # type: ignore[assignment]
+        cnc.issue_attack("fd00::1", 7777, 30.0, 512, train=16)
+        assert sent_lines == ["ATTACK udpplain fd00::1 7777 30 512 16"]
+        cnc.issue_attack("fd00::1", 7777, 30.0, 512)
+        assert sent_lines[-1] == "ATTACK udpplain fd00::1 7777 30 512"
