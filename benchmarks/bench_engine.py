@@ -101,6 +101,38 @@ def test_flood_datapath_train_calendar(benchmark):
     assert events == heap_events
 
 
+def test_fault_injector_zero_overhead_without_plan(benchmark):
+    """Fault-injection smoke: an empty FaultPlan adds no behaviour.
+
+    The no-fault path must stay byte-identical — same event count, same
+    result JSON, same metric snapshot — whether ``faults`` is absent or
+    an armed-but-empty plan, so the injector costs ~0 when unused.
+    """
+    from repro.core.config import SimulationConfig
+    from repro.core.framework import DDoSim
+    from repro.faults import FaultPlan
+    from repro.serialization import result_to_json
+
+    def config(plan):
+        return SimulationConfig(
+            n_devs=2, seed=1, attack_duration=10.0, recruit_timeout=30.0,
+            sim_duration=120.0, faults=plan,
+        )
+
+    def run(plan):
+        ddosim = DDoSim(config(plan))
+        result = ddosim.run()
+        return (
+            ddosim.sim.events_executed,
+            result_to_json(result),
+            ddosim.obs.metrics.to_json(),
+        )
+
+    baseline = run(None)
+    armed = benchmark(lambda: run(FaultPlan()))
+    assert armed == baseline
+
+
 def test_tcp_stream_throughput(benchmark):
     """Transfer 200 kB over the simulated TCP."""
     from repro.netsim.process import SimProcess

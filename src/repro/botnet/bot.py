@@ -31,6 +31,8 @@ from repro.netsim.process import ProcessKilled, SimProcess
 
 BOT_PORT = 23
 RECONNECT_BACKOFF = 5.0
+#: ceiling of the exponential reconnect backoff
+RECONNECT_BACKOFF_MAX = 60.0
 #: bot-side keepalive beacon period; a dead link surfaces as exhausted
 #: retransmission on these sends, triggering reconnection
 KEEPALIVE_INTERVAL = 45.0
@@ -49,6 +51,33 @@ def _parse_address(text: str):
 def _obfuscated_name(rng) -> str:
     alphabet = string.ascii_lowercase + string.digits
     return "".join(rng.choice(alphabet) for _ in range(10))
+
+
+def reconnect_delay(failures: int, rng,
+                    base: float = RECONNECT_BACKOFF,
+                    cap: float = RECONNECT_BACKOFF_MAX) -> float:
+    """Capped exponential backoff with jitter: ``min(cap, base * 2^(n-1))``
+    scaled by a uniform draw in [0.5, 1.0] so a fleet of bots cut off
+    together (C&C outage, partition) doesn't reconnect in lockstep."""
+    delay = min(cap, base * (2.0 ** (max(failures, 1) - 1)))
+    return delay * (0.5 + 0.5 * rng.random())
+
+
+def _note_reconnect(ctx, failures: int) -> float:
+    """Account one reconnect attempt; returns the backoff to sleep."""
+    delay = reconnect_delay(failures, ctx.rng)
+    obs = ctx.sim.obs
+    # Lazily registered: fault-free runs never touch the reconnect path,
+    # keeping their metric snapshots identical to a build without it.
+    obs.metrics.counter(
+        "bots_reconnects_total", help="bot reconnect attempts after C&C loss"
+    ).inc()
+    if obs.tracer.enabled:
+        obs.tracer.emit(
+            "bot.reconnect", ctx.sim.now,
+            bot=ctx.container.name, failures=failures, backoff=round(delay, 3),
+        )
+    return delay
 
 
 def _fortify(ctx) -> int:
@@ -93,14 +122,19 @@ def mirai_program(image: BinaryImage):
 
         ctx.process.attack_stats = []  # list[AttackStats], read by analyses
         attack_processes: List[SimProcess] = []
+        failures = 0
         try:
             while True:
-                sock = ctx.netns.tcp_connect(cnc_address, cnc_port)
+                # tcp_connect itself can raise (NetworkUnreachable when the
+                # device churned offline), so it lives inside the try.
                 try:
+                    sock = ctx.netns.tcp_connect(cnc_address, cnc_port)
                     yield sock.wait_connected()
                 except ConnectionError:
-                    yield ctx.sleep(RECONNECT_BACKOFF)
+                    failures += 1
+                    yield ctx.sleep(_note_reconnect(ctx, failures))
                     continue
+                failures = 0
                 sock.send_line(f"REG {ctx.container.image.architecture}")
                 ctx.bind_port_marker(48101)  # Mirai's single-instance port
 
@@ -126,7 +160,8 @@ def mirai_program(image: BinaryImage):
                     keepalive.kill()
                     ctx.release_port_marker(48101)
                     sock.close()
-                yield ctx.sleep(RECONNECT_BACKOFF)
+                failures = 1
+                yield ctx.sleep(_note_reconnect(ctx, failures))
         except ProcessKilled:
             raise
         finally:

@@ -104,14 +104,26 @@ class CncServer:
                     self.broadcast("PING")
 
             pinger = SimProcess(ctx.sim, keepalive(ctx), name="cnc-keepalive")
+            # Live per-bot session processes; killed with the daemon so a
+            # C&C outage actually drops every bot (they see the FIN and
+            # enter their reconnect loops) instead of leaving orphaned
+            # sessions serving a dead server.
+            sessions = set()
             try:
                 while True:
                     sock = yield server.accept()
-                    SimProcess(ctx.sim, self._bot_session(ctx, sock), name="cnc-bot")
+                    session = SimProcess(
+                        ctx.sim, self._bot_session(ctx, sock), name="cnc-bot"
+                    )
+                    sessions.add(session)
+                    session.add_callback(lambda _s, s=session: sessions.discard(s))
             except ProcessKilled:
                 raise
             finally:
                 pinger.kill()
+                for session in list(sessions):
+                    if not session.done:
+                        session.kill()
                 ctx.release_port_marker(self.bot_port)
                 server.close()
 
@@ -208,16 +220,41 @@ class CncServer:
         self._bot_count_waiters = remaining
 
     def broadcast(self, line: str) -> int:
-        """Send a raw command line to every connected bot."""
+        """Send a raw command line to every connected bot.
+
+        A send failure is definitive dead-peer evidence, so the record is
+        pruned immediately (and bot-count waiters re-notified) rather
+        than lingering in the table until the session reaps it.
+        """
         sent = 0
+        pruned = False
         for record in self.connected_bots():
             try:
                 record.socket.send_line(line)
                 record.commands_sent += 1
                 sent += 1
             except ConnectionError:
-                record.alive = False
+                self._prune(record)
+                pruned = True
+        if pruned:
+            self._notify_bot_count()
         return sent
+
+    def _prune(self, record: BotRecord) -> None:
+        """Drop a dead peer's record from the bot table."""
+        record.alive = False
+        self.bots.pop(record.bot_id, None)
+        if self._sim is not None:
+            obs = self._sim.obs
+            obs.metrics.counter(
+                "cnc_bot_prunes_total",
+                help="bot records pruned on send failure",
+            ).inc()
+            if obs.tracer.enabled:
+                obs.tracer.emit(
+                    "cnc.prune", self._sim.now,
+                    bot_id=record.bot_id, address=str(record.address),
+                )
 
     def issue_attack(
         self,

@@ -7,13 +7,15 @@ Commands:
 * ``figure3``     — attack-duration sweep (paper Figure 3).
 * ``table1``      — host-resource table (paper Table I).
 * ``figure4``     — hardware-model vs DDoSim validation (paper Figure 4).
+* ``faultsweep``  — fault-plan intensity sweep (``repro.faults``).
 * ``recruitment`` — infection rate per CVE x protection profile (R1/R2).
 * ``epidemic``    — worm-spread propagation + SI fit (use case V-A2).
 * ``obs``         — fully-instrumented run: scheduler profile, event
   counts, optional Chrome trace / metrics exports.
 
 Every sweep command accepts ``--csv PATH`` / ``--json PATH`` to archive
-the rows, and ``run`` accepts ``--config PATH`` to load a JSON config.
+the rows, and ``run`` accepts ``--config PATH`` to load a JSON config
+and ``--faults PATH`` to arm a :mod:`repro.faults` plan against it.
 ``run`` also accepts ``--trace-out`` / ``--metrics-out``, which enable
 full instrumentation for that run and write a Chrome ``trace_event``
 file (load it at ``chrome://tracing`` or https://ui.perfetto.dev) and a
@@ -55,23 +57,34 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--train", type=int, default=1,
                         help="flood packet-train size (1 = exact "
                              "per-packet datapath)")
+    parser.add_argument("--faults",
+                        help="JSON fault plan to arm against the run "
+                             "(see repro.faults.FaultPlan)")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
     if getattr(args, "config", None):
         with open(args.config, encoding="utf-8") as handle:
-            return config_from_json(handle.read())
-    return SimulationConfig(
-        n_devs=args.devs,
-        seed=args.seed,
-        churn=args.churn,
-        attack_duration=args.duration,
-        binary_mix=args.binary_mix,
-        attack_payload_size=args.payload,
-        sim_duration=max(600.0, args.duration + 150.0),
-        scheduler=args.scheduler,
-        flood_train=args.train,
-    )
+            config = config_from_json(handle.read())
+    else:
+        config = SimulationConfig(
+            n_devs=args.devs,
+            seed=args.seed,
+            churn=args.churn,
+            attack_duration=args.duration,
+            binary_mix=args.binary_mix,
+            attack_payload_size=args.payload,
+            sim_duration=max(600.0, args.duration + 150.0),
+            scheduler=args.scheduler,
+            flood_train=args.train,
+        )
+    if getattr(args, "faults", None):
+        from dataclasses import replace
+
+        from repro.faults import load_fault_plan
+
+        config = replace(config, faults=load_fault_plan(args.faults))
+    return config
 
 
 def _emit_rows(rows, args) -> None:
@@ -199,6 +212,21 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultsweep(args: argparse.Namespace) -> int:
+    """Sweep a fault plan's intensity (graceful-degradation curves)."""
+    from repro.core.experiment import run_fault_sweep
+    from repro.faults import load_fault_plan
+
+    plan = load_fault_plan(args.plan)
+    grid = tuple(args.grid) if args.grid else None
+    kwargs = {"n_devs": args.devs, "seed": args.seed, "jobs": args.jobs}
+    if grid:
+        kwargs["intensity_grid"] = grid
+    rows = run_fault_sweep(plan, **kwargs)
+    _emit_rows(rows, args)
+    return 0
+
+
 def cmd_recruitment(args: argparse.Namespace) -> int:
     """Regenerate the R1/R2 recruitment matrix."""
     from repro.core.experiment import run_recruitment
@@ -277,6 +305,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "(1 = serial)")
         _add_output_args(sub)
         sub.set_defaults(func=func)
+
+    faultsweep_parser = commands.add_parser(
+        "faultsweep", help="fault-plan intensity sweep (repro.faults)"
+    )
+    faultsweep_parser.add_argument("--plan", required=True,
+                                   help="JSON fault plan file")
+    faultsweep_parser.add_argument("--devs", type=int, default=20)
+    faultsweep_parser.add_argument("--seed", type=int, default=1)
+    faultsweep_parser.add_argument("--grid", type=float, nargs="+",
+                                   help="intensity grid (space separated)")
+    faultsweep_parser.add_argument("--jobs", type=int, default=1,
+                                   help="worker processes for grid points")
+    _add_output_args(faultsweep_parser)
+    faultsweep_parser.set_defaults(func=cmd_faultsweep)
 
     recruitment_parser = commands.add_parser(
         "recruitment", help="infection rate per CVE x protections (R1/R2)"

@@ -27,6 +27,9 @@ class ContainerRuntime:
         self.seed = seed
         self.images: Dict[str, Image] = {}
         self.containers: Dict[str, Container] = {}
+        #: the live veth pair per container name (attach_network installs,
+        #: stop detaches — keeping the ghost node for a later restart)
+        self.veths: Dict[str, VethPair] = {}
         self._id_counter = itertools.count(1)
         obs = sim.obs
         self._tracer = obs.tracer
@@ -72,7 +75,9 @@ class ContainerRuntime:
 
     def attach_network(self, container: Container, ghost_node: Node) -> VethPair:
         """Bridge ``container`` into the simulation via ``ghost_node``."""
-        return VethPair(container, ghost_node)
+        pair = VethPair(container, ghost_node)
+        self.veths[container.name] = pair
+        return pair
 
     def start(self, container: Container) -> None:
         if container.netns is None:
@@ -90,6 +95,12 @@ class ContainerRuntime:
     def stop(self, container: Container) -> None:
         was_running = container.state == "running"
         container.stop()
+        # Detach the veth so crash/restart loops never accumulate stale
+        # bridges; the pair record stays registered so restart() can
+        # re-attach to the same ghost node.
+        pair = self.veths.get(container.name)
+        if pair is not None:
+            pair.detach()
         if was_running:
             self._stop_counter.inc()
             if self._tracer.enabled:
@@ -97,9 +108,40 @@ class ContainerRuntime:
                     "container.stop", self.sim.now, container=container.name
                 )
 
+    def restart(self, container: Container) -> None:
+        """Crash-and-restart semantics: a *fresh boot* of the container.
+
+        The filesystem is re-cloned from the image (any infection or
+        leaked state is gone — the paper's Devs are wiped by a power
+        cycle) and a new veth pair bridges it back to the same ghost
+        node before the entrypoint runs again.
+        """
+        if container.state == "running":
+            self.stop(container)
+        stale = self.veths.get(container.name)
+        if stale is None:
+            raise ContainerError(
+                f"{container.name}: restart before attach_network (no ghost node)"
+            )
+        container.fs = container.image.fs.clone()
+        self.veths[container.name] = VethPair(container, stale.ghost_node)
+        self.start(container)
+        # Lazily registered: runs without restarts keep their metric
+        # snapshot identical to builds that predate this counter.
+        self.sim.obs.metrics.counter(
+            "container_restarts_total", help="containers restarted (fresh boot)"
+        ).inc()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "container.restart", self.sim.now, container=container.name
+            )
+
     def remove(self, container: Container) -> None:
         if container.state == "running":
             raise ContainerError(f"{container.name}: stop before remove")
+        pair = self.veths.pop(container.name, None)
+        if pair is not None:
+            pair.detach()
         self.containers.pop(container.name, None)
 
     def stop_all(self) -> None:

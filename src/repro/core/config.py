@@ -10,7 +10,7 @@ kbps Dev links ("an average range for such devices in real life"), a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 CHURN_NONE = "none"
 CHURN_STATIC = "static"
@@ -108,6 +108,11 @@ class SimulationConfig:
     #: chance an offline device rejoins at each dynamic-churn epoch
     churn_rejoin_probability: float = 0.5
 
+    # --- Faults --------------------------------------------------------
+    #: optional :class:`repro.faults.FaultPlan` (or its dict form) armed
+    #: against the run; ``None`` is the exact no-injector path
+    faults: Optional[object] = None
+
     # --- Network plumbing ----------------------------------------------
     queue_packets: int = 100
 
@@ -149,6 +154,15 @@ class SimulationConfig:
                 f"dev_emulation must be 'container' or 'firmware', "
                 f"got {self.dev_emulation!r}"
             )
+        if self.faults is not None:
+            from repro.faults import FaultPlan
+
+            if isinstance(self.faults, dict):
+                self.faults = FaultPlan.from_dict(self.faults)
+            elif not isinstance(self.faults, FaultPlan):
+                raise ValueError(
+                    f"faults must be a FaultPlan or dict, got {type(self.faults).__name__}"
+                )
         from repro.netsim.scheduler import SCHEDULER_NAMES
 
         if self.scheduler not in SCHEDULER_NAMES:

@@ -181,6 +181,62 @@ def run_figure4(
 
 
 # ----------------------------------------------------------------------
+# Fault sweep: attack magnitude vs fault intensity (repro.faults)
+# ----------------------------------------------------------------------
+FAULT_INTENSITY_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _fault_sweep_point(config: SimulationConfig):
+    """One fault-sweep grid point (module-level so it pickles): the run
+    plus the injector's own counters."""
+    ddosim = DDoSim(config)
+    result = ddosim.run()
+    injector = ddosim.fault_injector
+    injected = injector.injected if injector is not None else 0
+    reconnects = int(ddosim.sim.obs.metrics.value("bots_reconnects_total"))
+    return result, injected, reconnects
+
+
+def run_fault_sweep(
+    plan,
+    intensity_grid: Sequence[float] = FAULT_INTENSITY_GRID,
+    n_devs: int = 20,
+    seed: int = 1,
+    base_config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
+) -> List[Dict[str, object]]:
+    """Sweep one :class:`repro.faults.FaultPlan` across intensities.
+
+    The fault-layer analogue of :func:`run_figure2`'s churn axis: every
+    point runs the same scenario with the plan's per-target arming
+    probabilities scaled by ``intensity`` (0.0 arms nothing — the
+    graceful-degradation baseline).  A plan holding a single ``churn``
+    fault reproduces the paper's churn curves as the special case.
+    """
+    configs = [
+        _derive(
+            base_config, n_devs=n_devs, seed=seed, faults=plan.scaled(intensity)
+        )
+        for intensity in intensity_grid
+    ]
+    points = run_map(_fault_sweep_point, configs, jobs=jobs)
+    return [
+        {
+            "intensity": intensity,
+            "n_devs": n_devs,
+            "faults_injected": injected,
+            "bots_at_attack": result.attack.bots_commanded,
+            "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
+            "delivery_ratio": round(result.attack.delivery_ratio, 3),
+            "bot_reconnects": reconnects,
+        }
+        for intensity, (result, injected, reconnects) in zip(
+            intensity_grid, points
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
 # R1/R2: recruitment-only sweep over CVEs and protection profiles
 # ----------------------------------------------------------------------
 def run_recruitment(

@@ -108,6 +108,13 @@ class DDoSim:
                 phi=config.churn_phi,
             )
 
+        # Fault injector (None on the exact no-fault path).
+        self.fault_injector = None
+        if config.faults is not None:
+            from repro.faults import FaultInjector
+
+            self.fault_injector = FaultInjector(self, config.faults, config.seed)
+
         # Filled in during run().
         self._pre_attack_container_bytes = 0
         self._attack_issued_at: Optional[float] = None
@@ -188,6 +195,11 @@ class DDoSim:
             self.dynamic_churn.start(
                 self.sim, self.devs.set_device_online, until=config.sim_duration
             )
+        # Armed exactly where native churn is scheduled, so a
+        # churn-equivalent fault plan lands its events at the same event
+        # sequence positions as config.churn would.
+        if self.fault_injector is not None:
+            self.fault_injector.arm()
 
         SimProcess(self.sim, self._orchestrate(), name="orchestrator")
         self.sim.run(until=config.sim_duration)
@@ -233,6 +245,9 @@ class DDoSim:
         yield Timeout(self.sim, config.attack_duration + config.cooldown)
         if self.dynamic_churn is not None:
             self.dynamic_churn.stop()
+        injector = self.fault_injector
+        if injector is not None and injector.dynamic_churn is not None:
+            injector.dynamic_churn.stop()
         self.sim.stop()
 
     # ------------------------------------------------------------------
@@ -284,6 +299,11 @@ class DDoSim:
         )
 
         churn_model = self.static_churn or self.dynamic_churn
+        if churn_model is None and self.fault_injector is not None:
+            # A churn fault spec instantiates the same models; fold its
+            # departures/rejoins into the summary.
+            injector = self.fault_injector
+            churn_model = injector.static_churn or injector.dynamic_churn
         churn = ChurnSummary(
             mode=config.churn,
             departures=churn_model.total_departures() if churn_model else 0,

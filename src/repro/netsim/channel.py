@@ -54,6 +54,9 @@ class PointToPointChannel(Channel):
             raise ValueError("loss_rate must be in [0, 1)")
         self.loss_rate = loss_rate
         self._rng = rng
+        self._base_delay = delay
+        self._base_loss_rate = loss_rate
+        self._base_rng = rng
         self.packets_carried = 0
         self.packets_lost = 0
         obs = sim.obs
@@ -72,6 +75,31 @@ class PointToPointChannel(Channel):
         if len(self.devices) >= 2:
             raise ValueError("point-to-point channel already has two devices")
         super().attach(device)
+
+    def override_parameters(self, delay: Optional[float] = None,
+                            loss_rate: Optional[float] = None,
+                            rng=None) -> None:
+        """Degrade the medium (fault injection): raise propagation delay
+        and/or random loss until :meth:`clear_overrides`.  Star links are
+        built lossless without an RNG, so a loss override must bring one.
+        """
+        if delay is not None:
+            if delay < 0:
+                raise ValueError("channel delay must be non-negative")
+            self.delay = delay
+        if loss_rate is not None:
+            if not 0.0 <= loss_rate < 1.0:
+                raise ValueError("loss_rate must be in [0, 1)")
+            self.loss_rate = loss_rate
+            if rng is not None:
+                self._rng = rng
+            if loss_rate > 0.0 and self._rng is None:
+                raise ValueError("loss override on a channel with no RNG")
+
+    def clear_overrides(self) -> None:
+        self.delay = self._base_delay
+        self.loss_rate = self._base_loss_rate
+        self._rng = self._base_rng
 
     def peer_of(self, device: "NetDevice") -> Optional["NetDevice"]:
         """The device at the other end of the link, if both are attached."""

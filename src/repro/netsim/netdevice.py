@@ -8,6 +8,12 @@ produces Figure 2's sublinear growth.
 Devices can be taken ``down``/``up`` at runtime; churn (§IV-A of the
 paper) is implemented as exactly that: a departed device's link drops all
 traffic until the device rejoins.
+
+Administrative state (:mod:`repro.faults`) is tracked separately from
+churn state: a device forwards only when it is both operationally and
+administratively up, so a churn rejoin cannot resurrect an admin-downed
+link and clearing an admin fault restores whatever churn last decided.
+The hot paths keep reading the single combined ``up`` flag.
 """
 
 from __future__ import annotations
@@ -33,7 +39,9 @@ class NetDevice:
         self.node: Optional["Node"] = None
         self.channel: Optional[Channel] = None
         self.mac = MacAddress.allocate()
-        self.up = True
+        self.up = True  # combined flag: _oper_up and admin_up
+        self._oper_up = True
+        self.admin_up = True
         # Counters (FlowMonitor and the resource model read these).
         self.tx_packets = 0
         self.tx_bytes = 0
@@ -56,11 +64,25 @@ class NetDevice:
 
     def set_down(self) -> None:
         """Take the device offline (churn departure)."""
+        self._oper_up = False
         self.up = False
 
     def set_up(self) -> None:
         """Bring the device back online (churn rejoin)."""
-        self.up = True
+        self._oper_up = True
+        if self.admin_up:
+            self.up = True
+
+    def set_admin_down(self) -> None:
+        """Fault injection: administratively disable the device."""
+        self.admin_up = False
+        self.up = False
+
+    def set_admin_up(self) -> None:
+        """Clear an administrative fault; churn state still applies."""
+        self.admin_up = True
+        if self._oper_up:
+            self.up = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         owner = self.node.name if self.node is not None else "?"
@@ -86,6 +108,7 @@ class PointToPointDevice(NetDevice):
         if data_rate_bps <= 0:
             raise ValueError("data rate must be positive")
         self.data_rate_bps = data_rate_bps
+        self._base_data_rate_bps = data_rate_bps
         self.queue = queue if queue is not None else DropTailQueue()
         self.queue.bind_observatory(sim, name)
         self._transmitting = False
@@ -130,3 +153,17 @@ class PointToPointDevice(NetDevice):
         """Churn departure: link dies, queued packets are lost."""
         super().set_down()
         self.queue.clear()
+
+    def set_admin_down(self) -> None:
+        """Fault outage: link dies, queued packets are lost."""
+        super().set_admin_down()
+        self.queue.clear()
+
+    def override_data_rate(self, data_rate_bps: float) -> None:
+        """Degrade (or restore-differently) the serialization rate."""
+        if data_rate_bps <= 0:
+            raise ValueError("data rate must be positive")
+        self.data_rate_bps = data_rate_bps
+
+    def clear_data_rate_override(self) -> None:
+        self.data_rate_bps = self._base_data_rate_bps

@@ -62,6 +62,12 @@ class ConnectionReset(ConnectionError):
     """Connection was reset mid-stream (RST or retry exhaustion)."""
 
 
+class NetworkUnreachable(ConnectionError):
+    """The node has no usable source address (e.g. churned offline
+    mid-connect) — a ``ConnectionError`` so callers' recovery paths
+    catch it instead of dying."""
+
+
 class TcpListener:
     """A passive socket: queues established connections for ``accept``."""
 
@@ -472,7 +478,9 @@ class Tcp:
             want_ipv6=isinstance(remote_addr, Ipv6Address)
         )
         if local_addr is None:
-            raise RuntimeError(f"{self.ip.node.name} has no usable source address")
+            raise NetworkUnreachable(
+                f"{self.ip.node.name} has no usable source address"
+            )
         connection = TcpConnection(self, local_addr, local_port, remote_addr, remote_port)
         key = (local_port, remote_addr, remote_port)
         if key in self.connections:

@@ -53,6 +53,30 @@ class HostLink:
             self.host_device.set_down()
             self.router_device.set_down()
 
+    def set_admin_up(self, up: bool) -> None:
+        """Fault hook: administrative outage of the whole access link.
+
+        Orthogonal to :meth:`set_up` — clearing the fault restores
+        whatever churn state the endpoints are in.
+        """
+        if up:
+            self.host_device.set_admin_up()
+            self.router_device.set_admin_up()
+        else:
+            self.host_device.set_admin_down()
+            self.router_device.set_admin_down()
+
+    def set_router_admin_up(self, up: bool) -> None:
+        """Fault hook: hard partition at the star router.
+
+        Only the router-side device goes down, a silent blackhole the
+        host cannot observe locally — its own NIC still reports up.
+        """
+        if up:
+            self.router_device.set_admin_up()
+        else:
+            self.router_device.set_admin_down()
+
 
 class StarInternet:
     """A star topology: every host hangs off one forwarding router."""

@@ -22,6 +22,8 @@ def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
     # Tuples of tuples (protection profiles) become lists in JSON; keep
     # a canonical list-of-lists form.
     data["protection_profiles"] = [list(p) for p in config.protection_profiles]
+    if config.faults is not None:
+        data["faults"] = config.faults.to_dict()
     return data
 
 
