@@ -16,6 +16,7 @@ This package rebuilds the whole stack in pure Python:
 * :mod:`repro.services` — DNS/DHCPv6/HTTP/telnet + the exploit builders;
 * :mod:`repro.botnet` — the Mirai model (bot, C&C, floods, scanner);
 * :mod:`repro.core` — DDoSim itself (components, churn, metrics, sweeps);
+* :mod:`repro.cache` — content-addressed run cache for incremental sweeps;
 * :mod:`repro.hardware` — the WiFi hardware-testbed model (validation);
 * :mod:`repro.analysis` — the ML-detection and epidemic-model use cases.
 
@@ -28,6 +29,7 @@ Quickstart::
     print(result.attack.avg_received_kbps)         # Eq. 2 (R3)
 """
 
+from repro.cache import CachedRun, RunCache
 from repro.core.config import SimulationConfig
 from repro.core.framework import DDoSim
 from repro.core.resources import ResourceModel, ResourceReport
@@ -36,8 +38,10 @@ from repro.core.results import RunResult, format_table
 __version__ = "1.0.0"
 
 __all__ = [
+    "CachedRun",
     "DDoSim",
     "ResourceModel",
+    "RunCache",
     "ResourceReport",
     "RunResult",
     "SimulationConfig",

@@ -12,9 +12,13 @@ Commands:
 * ``epidemic``    — worm-spread propagation + SI fit (use case V-A2).
 * ``obs``         — fully-instrumented run: scheduler profile, event
   counts, optional Chrome trace / metrics exports.
+* ``cache``       — run-cache maintenance: ``stats``, ``clear``, ``gc``.
 
 Every sweep command accepts ``--csv PATH`` / ``--json PATH`` to archive
-the rows, and ``run`` accepts ``--config PATH`` to load a JSON config
+the rows, and caches finished grid points under ``--cache-dir``
+(default ``.repro-cache``) so a repeated sweep recomputes only changed
+points — ``--no-cache`` forces every point to simulate.  ``run``
+accepts ``--config PATH`` to load a JSON config
 and ``--faults PATH`` to arm a :mod:`repro.faults` plan against it.
 ``run`` also accepts ``--trace-out`` / ``--metrics-out``, which enable
 full instrumentation for that run and write a Chrome ``trace_event``
@@ -104,6 +108,29 @@ def _add_output_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", help="write rows as JSON to this path")
 
 
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    from repro.cache import DEFAULT_CACHE_DIR
+
+    parser.add_argument("--cache", dest="cache", action="store_true",
+                        default=True,
+                        help="serve unchanged grid points from the run "
+                             "cache (default)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="always simulate every grid point")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="run-cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+
+
+def _cache_from_args(args: argparse.Namespace):
+    """The sweep's RunCache, or ``None`` under ``--no-cache``."""
+    if not getattr(args, "cache", False):
+        return None
+    from repro.cache import RunCache
+
+    return RunCache(root=args.cache_dir)
+
+
 def _check_writable(*paths: Optional[str]) -> None:
     """Fail before the (possibly long) run, not after, on bad out paths."""
     for path in paths:
@@ -175,7 +202,8 @@ def cmd_figure2(args: argparse.Namespace) -> int:
 
     devs_grid = tuple(args.grid) if args.grid else (10, 50, 100, 150)
     rows = run_figure2(devs_grid=devs_grid, churn_modes=FIGURE2_CHURN,
-                       seed=args.seed, jobs=args.jobs)
+                       seed=args.seed, jobs=args.jobs,
+                       cache=_cache_from_args(args))
     _emit_rows(rows, args)
     return 0
 
@@ -187,7 +215,7 @@ def cmd_figure3(args: argparse.Namespace) -> int:
     devs_grid = tuple(args.grid) if args.grid else (50, 100)
     base = SimulationConfig(n_devs=1, attack_payload_size=1400)
     rows = run_figure3(devs_grid=devs_grid, seed=args.seed, base_config=base,
-                       jobs=args.jobs)
+                       jobs=args.jobs, cache=_cache_from_args(args))
     _emit_rows(rows, args)
     return 0
 
@@ -197,7 +225,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
     from repro.core.experiment import TABLE1_DEVS, run_table1
 
     devs_grid = tuple(args.grid) if args.grid else TABLE1_DEVS
-    rows = run_table1(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs)
+    rows = run_table1(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs,
+                      cache=_cache_from_args(args))
     _emit_rows(rows, args)
     return 0
 
@@ -207,7 +236,8 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     from repro.core.experiment import run_figure4
 
     devs_grid = tuple(args.grid) if args.grid else (1, 4, 7, 10, 13, 16, 19)
-    rows = run_figure4(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs)
+    rows = run_figure4(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs,
+                       cache=_cache_from_args(args))
     _emit_rows(rows, args)
     return 0
 
@@ -219,7 +249,8 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
 
     plan = load_fault_plan(args.plan)
     grid = tuple(args.grid) if args.grid else None
-    kwargs = {"n_devs": args.devs, "seed": args.seed, "jobs": args.jobs}
+    kwargs = {"n_devs": args.devs, "seed": args.seed, "jobs": args.jobs,
+              "cache": _cache_from_args(args)}
     if grid:
         kwargs["intensity_grid"] = grid
     rows = run_fault_sweep(plan, **kwargs)
@@ -231,8 +262,34 @@ def cmd_recruitment(args: argparse.Namespace) -> int:
     """Regenerate the R1/R2 recruitment matrix."""
     from repro.core.experiment import run_recruitment
 
-    rows = run_recruitment(n_devs=args.devs, seed=args.seed, jobs=args.jobs)
+    rows = run_recruitment(n_devs=args.devs, seed=args.seed, jobs=args.jobs,
+                           cache=_cache_from_args(args))
     _emit_rows(rows, args)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Run-cache maintenance: stats / clear / gc."""
+    from repro.cache import RunCache
+
+    cache = RunCache(root=args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        last = stats.pop("last_sweep")
+        for key in ("dir", "entries", "bytes", "max_bytes",
+                    "hits", "misses", "stores"):
+            print(f"{key:<10} {stats[key]}")
+        lookups = last["hits"] + last["misses"]
+        print(f"last sweep {last['hits']}/{lookups} hits "
+              f"({last['hit_rate']:.0%})" if lookups
+              else "last sweep (none recorded)")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached runs from {cache.root}")
+    elif args.action == "gc":
+        evicted = cache.gc(max_bytes=args.max_bytes)
+        print(f"evicted {evicted} cached runs "
+              f"({cache.total_bytes()} bytes retained)")
     return 0
 
 
@@ -303,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--jobs", type=int, default=1,
                          help="worker processes for grid points "
                               "(1 = serial)")
+        _add_cache_args(sub)
         _add_output_args(sub)
         sub.set_defaults(func=func)
 
@@ -317,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="intensity grid (space separated)")
     faultsweep_parser.add_argument("--jobs", type=int, default=1,
                                    help="worker processes for grid points")
+    _add_cache_args(faultsweep_parser)
     _add_output_args(faultsweep_parser)
     faultsweep_parser.set_defaults(func=cmd_faultsweep)
 
@@ -327,8 +386,29 @@ def build_parser() -> argparse.ArgumentParser:
     recruitment_parser.add_argument("--seed", type=int, default=1)
     recruitment_parser.add_argument("--jobs", type=int, default=1,
                                     help="worker processes for grid points")
+    _add_cache_args(recruitment_parser)
     _add_output_args(recruitment_parser)
     recruitment_parser.set_defaults(func=cmd_recruitment)
+
+    cache_parser = commands.add_parser(
+        "cache", help="run-cache maintenance (stats / clear / gc)"
+    )
+    cache_actions = cache_parser.add_subparsers(dest="action", required=True)
+    from repro.cache import DEFAULT_CACHE_DIR, DEFAULT_MAX_BYTES
+
+    for action, help_text in (
+        ("stats", "store size plus lifetime and last-sweep hit rates"),
+        ("clear", "remove every cached run"),
+        ("gc", "evict least-recently-used runs down to the size cap"),
+    ):
+        action_parser = cache_actions.add_parser(action, help=help_text)
+        action_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                                   help="run-cache directory")
+        if action == "gc":
+            action_parser.add_argument("--max-bytes", type=int,
+                                       default=DEFAULT_MAX_BYTES,
+                                       help="size cap to evict down to")
+        action_parser.set_defaults(func=cmd_cache)
 
     epidemic_parser = commands.add_parser(
         "epidemic", help="worm propagation + SI fit (use case V-A2)"

@@ -10,9 +10,15 @@ grid for quick passes; ``REPRO_FULL=1`` in the environment switches the
 benchmarks to the full published grids.
 
 Grid points are independent (each builds its own simulator from its own
-seed), so every sweep accepts ``jobs=N`` to shard points across worker
+seed), so every sweep accepts ``jobs=N`` to spread points across worker
 processes via :mod:`repro.parallel` — same rows, sooner.  ``jobs=1``
 (the default) is the exact serial path.
+
+Every sweep also accepts ``cache=`` (a :class:`repro.cache.RunCache`):
+finished points are committed to the cache as they complete and served
+from it on the next invocation, so rerunning a sweep costs only its
+changed (or interrupted, not-yet-committed) points.  ``cache=None`` (the
+default) always simulates.
 """
 
 from __future__ import annotations
@@ -20,10 +26,11 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.cache import CachedRun
 from repro.core.config import CHURN_DYNAMIC, CHURN_NONE, CHURN_STATIC, SimulationConfig
 from repro.core.framework import DDoSim
 from repro.core.results import RunResult
-from repro.parallel import run_configs, run_map
+from repro.parallel import run_cached
 
 #: the paper's grids
 FIGURE2_DEVS_FULL = (10, 30, 50, 70, 90, 110, 130, 150)
@@ -44,6 +51,14 @@ def run_single(config: SimulationConfig) -> RunResult:
     return DDoSim(config).run()
 
 
+def _run_point(config: SimulationConfig) -> CachedRun:
+    """The standard sweep point (module-level so it pickles): one DDoSim
+    run plus its metric snapshot, in cache-storable form."""
+    ddosim = DDoSim(config)
+    result = ddosim.run()
+    return CachedRun(results=[result], metrics=ddosim.obs.metrics.snapshot())
+
+
 # ----------------------------------------------------------------------
 # Figure 2: received rate vs number of Devs at three churn levels
 # ----------------------------------------------------------------------
@@ -53,6 +68,7 @@ def run_figure2(
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, object]]:
     """100-second attacks across a Devs x churn grid."""
     points = [
@@ -62,17 +78,17 @@ def run_figure2(
         _derive(base_config, n_devs=n_devs, churn=churn, seed=seed)
         for churn, n_devs in points
     ]
-    results = run_configs(configs, jobs=jobs)
+    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache)
     return [
         {
             "churn": churn,
             "n_devs": n_devs,
-            "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
-            "offered_kbps": round(result.attack.offered_kbps, 1),
-            "bots_at_attack": result.attack.bots_commanded,
-            "delivery_ratio": round(result.attack.delivery_ratio, 3),
+            "avg_received_kbps": round(run.result.attack.avg_received_kbps, 1),
+            "offered_kbps": round(run.result.attack.offered_kbps, 1),
+            "bots_at_attack": run.result.attack.bots_commanded,
+            "delivery_ratio": round(run.result.attack.delivery_ratio, 3),
         }
-        for (churn, n_devs), result in zip(points, results)
+        for (churn, n_devs), run in zip(points, runs)
     ]
 
 
@@ -85,6 +101,7 @@ def run_figure3(
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, object]]:
     points = [
         (n_devs, duration) for n_devs in devs_grid for duration in durations
@@ -99,15 +116,17 @@ def run_figure3(
         )
         for n_devs, duration in points
     ]
-    results = run_configs(configs, jobs=jobs)
+    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache)
     return [
         {
             "n_devs": n_devs,
             "attack_duration_s": duration,
-            "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
-            "received_mbit_total": round(result.attack.received_bytes * 8 / 1e6, 1),
+            "avg_received_kbps": round(run.result.attack.avg_received_kbps, 1),
+            "received_mbit_total": round(
+                run.result.attack.received_bytes * 8 / 1e6, 1
+            ),
         }
-        for (n_devs, duration), result in zip(points, results)
+        for (n_devs, duration), run in zip(points, runs)
     ]
 
 
@@ -119,31 +138,38 @@ def run_table1(
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, object]]:
     configs = [
         _derive(base_config, n_devs=n_devs, seed=seed) for n_devs in devs_grid
     ]
-    results = run_configs(configs, jobs=jobs)
+    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache)
     return [
         {
             "n_devs": n_devs,
-            "pre_attack_mem_gb": round(result.resources.pre_attack_mem_gb, 2),
-            "attack_mem_gb": round(result.resources.attack_mem_gb, 2),
-            "attack_time": result.resources.attack_time_mmss(),
+            "pre_attack_mem_gb": round(run.result.resources.pre_attack_mem_gb, 2),
+            "attack_mem_gb": round(run.result.resources.attack_mem_gb, 2),
+            "attack_time": run.result.resources.attack_time_mmss(),
         }
-        for n_devs, result in zip(devs_grid, results)
+        for n_devs, run in zip(devs_grid, runs)
     ]
 
 
 # ----------------------------------------------------------------------
 # Figure 4: real-hardware model vs DDoSim
 # ----------------------------------------------------------------------
-def _figure4_point(config: SimulationConfig):
+def _figure4_point(config: SimulationConfig) -> CachedRun:
     """One Figure 4 grid point: the DDoSim run plus its hardware twin
     (module-level so it pickles for parallel sweeps)."""
     from repro.hardware.testbed import HardwareTestbed
 
-    return run_single(config), HardwareTestbed(config).run()
+    ddosim = DDoSim(config)
+    ddosim_result = ddosim.run()
+    hardware_result = HardwareTestbed(config).run()
+    return CachedRun(
+        results=[ddosim_result, hardware_result],
+        metrics=ddosim.obs.metrics.snapshot(),
+    )
 
 
 def run_figure4(
@@ -152,6 +178,7 @@ def run_figure4(
     attack_duration: float = 60.0,
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, object]]:
     configs = [
         _derive(
@@ -163,9 +190,10 @@ def run_figure4(
         )
         for n_devs in devs_grid
     ]
-    pairs = run_map(_figure4_point, configs, jobs=jobs)
+    runs = run_cached(_figure4_point, configs, jobs=jobs, cache=cache)
     rows: List[Dict[str, object]] = []
-    for n_devs, (ddosim_result, hardware_result) in zip(devs_grid, pairs):
+    for n_devs, run in zip(devs_grid, runs):
+        ddosim_result, hardware_result = run.results
         sim_kbps = ddosim_result.attack.avg_received_kbps
         hw_kbps = hardware_result.attack.avg_received_kbps
         divergence = abs(sim_kbps - hw_kbps) / hw_kbps if hw_kbps else 0.0
@@ -186,7 +214,7 @@ def run_figure4(
 FAULT_INTENSITY_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
 
 
-def _fault_sweep_point(config: SimulationConfig):
+def _fault_sweep_point(config: SimulationConfig) -> CachedRun:
     """One fault-sweep grid point (module-level so it pickles): the run
     plus the injector's own counters."""
     ddosim = DDoSim(config)
@@ -194,7 +222,11 @@ def _fault_sweep_point(config: SimulationConfig):
     injector = ddosim.fault_injector
     injected = injector.injected if injector is not None else 0
     reconnects = int(ddosim.sim.obs.metrics.value("bots_reconnects_total"))
-    return result, injected, reconnects
+    return CachedRun(
+        results=[result],
+        metrics=ddosim.obs.metrics.snapshot(),
+        extra={"faults_injected": injected, "bot_reconnects": reconnects},
+    )
 
 
 def run_fault_sweep(
@@ -204,6 +236,7 @@ def run_fault_sweep(
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, object]]:
     """Sweep one :class:`repro.faults.FaultPlan` across intensities.
 
@@ -219,20 +252,18 @@ def run_fault_sweep(
         )
         for intensity in intensity_grid
     ]
-    points = run_map(_fault_sweep_point, configs, jobs=jobs)
+    runs = run_cached(_fault_sweep_point, configs, jobs=jobs, cache=cache)
     return [
         {
             "intensity": intensity,
             "n_devs": n_devs,
-            "faults_injected": injected,
-            "bots_at_attack": result.attack.bots_commanded,
-            "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
-            "delivery_ratio": round(result.attack.delivery_ratio, 3),
-            "bot_reconnects": reconnects,
+            "faults_injected": run.extra["faults_injected"],
+            "bots_at_attack": run.result.attack.bots_commanded,
+            "avg_received_kbps": round(run.result.attack.avg_received_kbps, 1),
+            "delivery_ratio": round(run.result.attack.delivery_ratio, 3),
+            "bot_reconnects": run.extra["bot_reconnects"],
         }
-        for intensity, (result, injected, reconnects) in zip(
-            intensity_grid, points
-        )
+        for intensity, run in zip(intensity_grid, runs)
     ]
 
 
@@ -244,6 +275,7 @@ def run_recruitment(
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, object]]:
     """Infection rate per (binary, protection profile) — the R2 answer."""
     points = [
@@ -263,34 +295,46 @@ def run_recruitment(
         )
         for binary_mix, profile in points
     ]
-    results = run_configs(configs, jobs=jobs)
+    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache)
     return [
         {
             "binary": binary_mix,
             "protections": "+".join(profile) or "none",
             "devs": n_devs,
-            "recruited": result.recruitment.bots_recruited,
-            "infection_rate": round(result.recruitment.infection_rate, 3),
-            "leaks": result.recruitment.leaks_harvested,
+            "recruited": run.result.recruitment.bots_recruited,
+            "infection_rate": round(run.result.recruitment.infection_rate, 3),
+            "leaks": run.result.recruitment.leaks_harvested,
         }
-        for (binary_mix, profile), result in zip(points, results)
+        for (binary_mix, profile), run in zip(points, runs)
     ]
 
 
 # ----------------------------------------------------------------------
 # Baseline: memory-error recruitment vs the default-credential vector
 # ----------------------------------------------------------------------
+def _vector_comparison_point(config: SimulationConfig) -> CachedRun:
+    ddosim = DDoSim(config)
+    result = ddosim.run()
+    return CachedRun(
+        results=[result],
+        metrics=ddosim.obs.metrics.snapshot(),
+        extra={"weak_credential_devs": ddosim.devs.weak_credential_count()},
+    )
+
+
 def run_vector_comparison(
     n_devs: int = 20,
     seed: int = 1,
     weak_credential_fraction: float = 0.6,
     base_config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, object]]:
     """Same fleet, three recruitment vectors (the paper's R1 contrast:
     memory-error exploits vs the classic Mirai credential dictionary)."""
-    rows: List[Dict[str, object]] = []
-    for vector in ("credentials", "memory_error", "both"):
-        config = _derive(
+    vectors = ("credentials", "memory_error", "both")
+    configs = [
+        _derive(
             base_config,
             n_devs=n_devs,
             seed=seed,
@@ -299,30 +343,42 @@ def run_vector_comparison(
             attack_duration=30.0,
             sim_duration=300.0,
         )
-        ddosim = DDoSim(config)
-        result = ddosim.run()
-        weak = ddosim.devs.weak_credential_count()
-        rows.append(
-            {
-                "vector": vector,
-                "devs": n_devs,
-                "weak_credential_devs": weak,
-                "recruited": result.recruitment.bots_recruited,
-                "infection_rate": round(result.recruitment.infection_rate, 3),
-                "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
-            }
-        )
-    return rows
+        for vector in vectors
+    ]
+    runs = run_cached(_vector_comparison_point, configs, jobs=jobs, cache=cache)
+    return [
+        {
+            "vector": vector,
+            "devs": n_devs,
+            "weak_credential_devs": run.extra["weak_credential_devs"],
+            "recruited": run.result.recruitment.bots_recruited,
+            "infection_rate": round(run.result.recruitment.infection_rate, 3),
+            "avg_received_kbps": round(run.result.attack.avg_received_kbps, 1),
+        }
+        for vector, run in zip(vectors, runs)
+    ]
 
 
 # ----------------------------------------------------------------------
 # Emulation-mode comparison: containers (the paper's choice) vs
 # Firmadyne/QEMU full-firmware emulation (§III-B's alternative)
 # ----------------------------------------------------------------------
+def _emulation_comparison_point(config: SimulationConfig) -> CachedRun:
+    ddosim = DDoSim(config)
+    result = ddosim.run()
+    return CachedRun(
+        results=[result],
+        metrics=ddosim.obs.metrics.snapshot(),
+        extra={"fleet_memory_bytes": ddosim.runtime.total_memory_bytes()},
+    )
+
+
 def run_emulation_comparison(
     n_devs: int = 15,
     seed: int = 1,
     base_config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, object]]:
     """Same experiment under both Dev emulation modes.
 
@@ -331,9 +387,9 @@ def run_emulation_comparison(
     scalability" — while recruitment outcomes are identical because only
     the network-facing program's vulnerability matters.
     """
-    rows: List[Dict[str, object]] = []
-    for mode in ("container", "firmware"):
-        config = _derive(
+    modes = ("container", "firmware")
+    configs = [
+        _derive(
             base_config,
             n_devs=n_devs,
             seed=seed,
@@ -341,21 +397,20 @@ def run_emulation_comparison(
             attack_duration=30.0,
             sim_duration=300.0,
         )
-        ddosim = DDoSim(config)
-        result = ddosim.run()
-        rows.append(
-            {
-                "emulation": mode,
-                "devs": n_devs,
-                "infection_rate": round(result.recruitment.infection_rate, 3),
-                "first_bot_s": round(result.recruitment.first_bot_time or 0.0, 1),
-                "fleet_memory_mb": round(
-                    ddosim.runtime.total_memory_bytes() / 1e6, 1
-                ),
-                "avg_received_kbps": round(result.attack.avg_received_kbps, 1),
-            }
-        )
-    return rows
+        for mode in modes
+    ]
+    runs = run_cached(_emulation_comparison_point, configs, jobs=jobs, cache=cache)
+    return [
+        {
+            "emulation": mode,
+            "devs": n_devs,
+            "infection_rate": round(run.result.recruitment.infection_rate, 3),
+            "first_bot_s": round(run.result.recruitment.first_bot_time or 0.0, 1),
+            "fleet_memory_mb": round(run.extra["fleet_memory_bytes"] / 1e6, 1),
+            "avg_received_kbps": round(run.result.attack.avg_received_kbps, 1),
+        }
+        for mode, run in zip(modes, runs)
+    ]
 
 
 def _derive(base: Optional[SimulationConfig], **overrides) -> SimulationConfig:

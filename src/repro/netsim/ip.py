@@ -36,6 +36,9 @@ class IpStack:
         self.sim = node.sim
         self.addresses: Dict[Address, NetDevice] = {}
         self.device_addresses: Dict[NetDevice, List[Address]] = {}
+        # Per-family primary-address cache: every send() that omits a
+        # source resolves one, so don't rescan the address dict each time.
+        self._primary: Dict[bool, Optional[Address]] = {}
         self.routes: Dict[Address, NetDevice] = {}
         self.default_device: Optional[NetDevice] = None
         self.forwarding = False
@@ -81,15 +84,21 @@ class IpStack:
             raise ValueError(f"{self.node.name}: duplicate address {address}")
         self.addresses[address] = device
         self.device_addresses.setdefault(device, []).append(address)
+        self._primary.clear()
         if self.default_device is None:
             self.default_device = device
 
     def primary_address(self, want_ipv6: bool = True) -> Optional[Address]:
+        if want_ipv6 in self._primary:
+            return self._primary[want_ipv6]
         family = Ipv6Address if want_ipv6 else Ipv4Address
+        primary = None
         for address in self.addresses:
             if isinstance(address, family):
-                return address
-        return None
+                primary = address
+                break
+        self._primary[want_ipv6] = primary
+        return primary
 
     def add_route(self, destination: Address, device: NetDevice) -> None:
         """Install a host route: packets to ``destination`` leave ``device``."""
@@ -163,7 +172,7 @@ class IpStack:
             self.sim.schedule_now(self._deliver, packet.copy(), header)
         device = self._egress_for(header.dst)
         if device is None:
-            self.dropped_no_route += 1
+            self.dropped_no_route += packet.count
             return False
         return device.send(packet)
 
@@ -200,7 +209,7 @@ class IpStack:
                 self.forwarded += clone.count
                 device.send(clone)
         elif not delivered:
-            self.dropped_no_route += 1
+            self.dropped_no_route += packet.count
 
     def _forward(self, packet: Packet, header, ingress: NetDevice) -> None:
         if header.ttl <= 1:
@@ -225,4 +234,4 @@ class IpStack:
         elif protocol == PROTO_TCP:
             self.tcp.receive(packet, header)
         else:
-            self.dropped_no_transport += 1
+            self.dropped_no_transport += packet.count

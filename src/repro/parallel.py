@@ -2,23 +2,36 @@
 
 Every sweep in :mod:`repro.core.experiment` evaluates a grid whose
 points share nothing — each builds its own :class:`Simulator` from its
-own config and seed — so they shard perfectly across worker processes.
-This module is the one place that knows how: it maps configs over a
-``multiprocessing`` pool, keeps results in grid order, and merges the
-per-worker observability metric snapshots into one fleet-wide view.
+own config and seed — so they spread perfectly across worker processes.
+This module is the one place that knows how.
+
+Dispatch is a **dynamic work queue**, not static sharding: tasks sit on
+one shared queue and idle workers pull the next point the moment they
+finish their last (``imap_unordered`` with single-task chunks — the
+multiprocessing flavour of work stealing).  A sweep whose grid is skewed
+(one 150-Dev point among 10-Dev points) no longer idles the pool behind
+its slowest static shard; the slow point occupies one worker while the
+rest drain everything else.
+
+:func:`run_cached` adds the cache layer (:mod:`repro.cache`): it first
+partitions the grid into hits — served instantly from disk, no
+simulator built — and misses, dispatches only the misses, and commits
+each finished point to the cache *as it completes*.  An interrupted
+sweep therefore resumes: rerunning it re-serves every committed point
+and recomputes only the remainder.
 
 Determinism: a run's outcome depends only on its config (the per-run
-RNGs are seeded from ``config.seed``), so sharding cannot change any
-result — ``jobs=N`` returns byte-identical rows to ``jobs=1``, just
-sooner on a multi-core host.  ``jobs<=1`` bypasses multiprocessing
-entirely and runs the exact serial path.
+RNGs are seeded from ``config.seed``), so neither sharding nor dispatch
+order can change any result — ``jobs=N`` returns byte-identical rows to
+``jobs=1``, just sooner on a multi-core host.  ``jobs<=1`` bypasses
+multiprocessing entirely and runs the exact serial path (in grid order).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SimulationConfig
 from repro.core.results import RunResult
@@ -58,14 +71,45 @@ def _make_pool(jobs: int):
     return context.Pool(processes=jobs)
 
 
-def run_map(fn, items: Sequence, jobs: int = 1) -> List:
-    """Map a picklable ``fn`` over ``items``, sharded across ``jobs``
-    worker processes; results come back in input order.  ``jobs<=1``
-    runs serially in this process (the exact seed path)."""
+def _invoke_indexed(task):
+    """Pool entry point: run one tagged task so unordered completion can
+    still be reassembled into grid order."""
+    index, fn, item = task
+    return index, fn(item)
+
+
+def run_map(
+    fn,
+    items: Sequence,
+    jobs: int = 1,
+    on_complete: Optional[Callable[[int, object], None]] = None,
+) -> List:
+    """Map a picklable ``fn`` over ``items`` through the dynamic work
+    queue; results come back in input order.
+
+    ``on_complete(index, value)`` fires in *this* process as each item
+    finishes (completion order, not input order) — the hook
+    :func:`run_cached` uses to commit points incrementally.  ``jobs<=1``
+    runs serially in this process (the exact seed path, input order).
+    """
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        out = []
+        for index, item in enumerate(items):
+            value = fn(item)
+            if on_complete is not None:
+                on_complete(index, value)
+            out.append(value)
+        return out
+    tasks = [(index, fn, item) for index, item in enumerate(items)]
+    results: List = [None] * len(items)
     with _make_pool(min(jobs, len(items))) as pool:
-        return pool.map(fn, items)
+        # chunksize=1 keeps every task on the shared queue until a
+        # worker is actually free — self-balancing under skewed grids.
+        for index, value in pool.imap_unordered(_invoke_indexed, tasks, 1):
+            results[index] = value
+            if on_complete is not None:
+                on_complete(index, value)
+    return results
 
 
 def run_configs(
@@ -75,7 +119,8 @@ def run_configs(
     """Run every config; results come back in input order.
 
     ``jobs<=1`` runs serially in this process (the exact seed path);
-    ``jobs>1`` shards across that many worker processes.
+    ``jobs>1`` spreads points across that many workers via the shared
+    queue.
     """
     return run_map(_run_one, configs, jobs)
 
@@ -90,6 +135,62 @@ def run_configs_with_metrics(
     results = [result for result, _snapshot in pairs]
     merged = merge_metric_snapshots([snapshot for _result, snapshot in pairs])
     return results, merged
+
+
+# ----------------------------------------------------------------------
+# Cache-aware incremental sweeps
+# ----------------------------------------------------------------------
+def run_cached(
+    point_fn,
+    configs: Sequence[SimulationConfig],
+    jobs: int = 1,
+    cache=None,
+) -> List:
+    """Evaluate ``point_fn`` (config -> :class:`repro.cache.CachedRun`)
+    over a grid, serving cache hits instantly and committing each
+    computed miss the moment it finishes.
+
+    With ``cache=None`` this is exactly :func:`run_map`.  With a
+    :class:`repro.cache.RunCache`:
+
+    1. every config is fingerprinted and looked up — hits cost one JSON
+       deserialize, no simulator is built;
+    2. only the misses go to the dynamic work queue;
+    3. each completed miss is committed from this (parent) process —
+       one writer, atomic rename — so interrupting the sweep loses only
+       in-flight points, and the rerun resumes from the committed ones;
+    4. the session's hit/miss tally is persisted for
+       ``repro cache stats``.
+
+    Results come back in grid order either way.
+    """
+    if cache is None:
+        return run_map(point_fn, configs, jobs)
+
+    results: List = [None] * len(configs)
+    miss_indices: List[int] = []
+    for index, config in enumerate(configs):
+        hit = cache.get(config)
+        if hit is not None:
+            results[index] = hit
+        else:
+            miss_indices.append(index)
+
+    def commit(position: int, value) -> None:
+        index = miss_indices[position]
+        results[index] = value
+        cache.put(configs[index], value)
+
+    try:
+        run_map(
+            point_fn,
+            [configs[index] for index in miss_indices],
+            jobs,
+            on_complete=commit,
+        )
+    finally:
+        cache.commit_session()
+    return results
 
 
 def merge_metric_snapshots(

@@ -32,6 +32,18 @@ def config_to_json(config: SimulationConfig, indent: int = 2) -> str:
     return json.dumps(config_to_dict(config), indent=indent, sort_keys=True)
 
 
+def config_to_canonical_json(config: SimulationConfig) -> str:
+    """Key-stable single-line JSON for a config.
+
+    The fingerprint substrate for :mod:`repro.cache`: sorted keys, no
+    whitespace variance, tuples normalised to lists — two configs that
+    compare equal always serialize to the same bytes.
+    """
+    return json.dumps(
+        config_to_dict(config), sort_keys=True, separators=(",", ":")
+    )
+
+
 def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
     """Rebuild a config from a dict (rejects unknown fields)."""
     payload = dict(data)
@@ -77,6 +89,34 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
 def result_to_json(result: RunResult, indent: int = 2) -> str:
     """Pretty-printed JSON text for a RunResult."""
     return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from its dict snapshot.
+
+    Exact inverse of :func:`result_to_dict` — round-tripping a result
+    through dict/JSON and back re-serializes byte-identically, which is
+    what lets :mod:`repro.cache` serve stored runs in place of live ones.
+    """
+    from repro.core.resources import ResourceReport
+    from repro.core.results import (
+        AttackStatsSummary,
+        ChurnSummary,
+        RecruitmentStats,
+    )
+
+    payload = dict(data)
+    payload["recruitment"] = RecruitmentStats(**payload["recruitment"])
+    payload["attack"] = AttackStatsSummary(**payload["attack"])
+    payload["churn"] = ChurnSummary(**payload["churn"])
+    payload["resources"] = ResourceReport(**payload["resources"])
+    payload["rate_series_kbps"] = list(payload.get("rate_series_kbps", ()))
+    return RunResult(**payload)
+
+
+def result_from_json(text: str) -> RunResult:
+    """Rebuild a RunResult from JSON text."""
+    return result_from_dict(json.loads(text))
 
 
 def rows_to_csv(rows) -> str:

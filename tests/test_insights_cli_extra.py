@@ -10,14 +10,15 @@ from repro.cli import main
 class TestCliSweeps:
     def test_table1_with_custom_grid(self, capsys, tmp_path):
         out = tmp_path / "t1.json"
-        code = main(["table1", "--grid", "2", "4", "--json", str(out)])
+        code = main(["table1", "--grid", "2", "4", "--json", str(out),
+                     "--cache-dir", str(tmp_path / "cache")])
         assert code == 0
         rows = json.loads(out.read_text())
         assert [row["n_devs"] for row in rows] == [2, 4]
         assert all("attack_time" in row for row in rows)
 
     def test_figure4_with_single_point(self, capsys):
-        code = main(["figure4", "--grid", "2"])
+        code = main(["figure4", "--grid", "2", "--no-cache"])
         assert code == 0
         output = capsys.readouterr().out
         assert "hardware_kbps" in output

@@ -115,7 +115,8 @@ class TestCli:
 
     def test_recruitment_command_writes_csv(self, capsys, tmp_path):
         out = tmp_path / "rows.csv"
-        code = main(["recruitment", "--devs", "2", "--csv", str(out)])
+        code = main(["recruitment", "--devs", "2", "--csv", str(out),
+                     "--cache-dir", str(tmp_path / "cache")])
         assert code == 0
         lines = out.read_text().strip().splitlines()
         assert lines[0].startswith("binary,")
