@@ -13,6 +13,11 @@ Commands:
 * ``obs``         — fully-instrumented run: scheduler profile, event
   counts, optional Chrome trace / metrics exports.
 * ``cache``       — run-cache maintenance: ``stats``, ``clear``, ``gc``.
+* ``lint``        — determinism linter (``repro.simlint``): SIM1xx rules
+  over sim code; nonzero exit on violations (the CI gate).
+* ``verify-determinism`` — execute the determinism contract: one config
+  twice (first diverging trace event on mismatch) and a figure2 sweep
+  at ``--jobs 1`` vs ``--jobs N`` (rows must be byte-identical).
 
 Every sweep command accepts ``--csv PATH`` / ``--json PATH`` to archive
 the rows, and caches finished grid points under ``--cache-dir``
@@ -293,6 +298,42 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism linter; exit 1 when violations remain."""
+    from repro.simlint import format_json, format_text, lint_paths
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        violations = lint_paths(args.paths, select=select, ignore=ignore)
+    except ValueError as exc:  # unknown --select/--ignore code
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(violations))
+    else:
+        print(format_text(violations))
+    return 1 if violations else 0
+
+
+def cmd_verify_determinism(args: argparse.Namespace) -> int:
+    """Prove the determinism contract; exit 1 on the first divergence."""
+    import json as json_module
+
+    from repro.simlint import verify_determinism
+
+    report = verify_determinism(
+        devs_grid=tuple(args.grid) if args.grid else (2, 4),
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    if args.format == "json":
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 0 if report.identical else 1
+
+
 def cmd_epidemic(args: argparse.Namespace) -> int:
     """Run one propagation experiment and fit the SI model."""
     from repro.analysis.epidemic import fit_si_model, run_propagation_experiment
@@ -409,6 +450,36 @@ def build_parser() -> argparse.ArgumentParser:
                                        default=DEFAULT_MAX_BYTES,
                                        help="size cap to evict down to")
         action_parser.set_defaults(func=cmd_cache)
+
+    lint_parser = commands.add_parser(
+        "lint", help="determinism linter (SIM1xx rules; repro.simlint)"
+    )
+    lint_parser.add_argument("paths", nargs="*", default=["src/repro"],
+                             help="files/directories to lint "
+                                  "(default: src/repro)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text")
+    lint_parser.add_argument("--select",
+                             help="comma-separated rule codes to run "
+                                  "(default: all)")
+    lint_parser.add_argument("--ignore",
+                             help="comma-separated rule codes to skip")
+    lint_parser.set_defaults(func=cmd_lint)
+
+    verify_parser = commands.add_parser(
+        "verify-determinism",
+        help="double-run + jobs-parity determinism gate (repro.simlint)",
+    )
+    verify_parser.add_argument("--grid", type=int, nargs="+",
+                               help="figure2 Devs grid for the checks "
+                                    "(default: 2 4)")
+    verify_parser.add_argument("--seed", type=int, default=1)
+    verify_parser.add_argument("--jobs", type=int, default=4,
+                               help="parallel worker count for the "
+                                    "jobs-parity check")
+    verify_parser.add_argument("--format", choices=("text", "json"),
+                               default="text")
+    verify_parser.set_defaults(func=cmd_verify_determinism)
 
     epidemic_parser = commands.add_parser(
         "epidemic", help="worm propagation + SI fit (use case V-A2)"

@@ -19,7 +19,7 @@ the link layer is identical across emulation modes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.container.container import Container
 from repro.container.image import Image

@@ -225,12 +225,14 @@ class WifiDevice(NetDevice):
                 return target
             if isinstance(header, Ipv6Header) and header.dst.is_multicast:
                 # Broadcast-ish: AP replicates to every associated station
-                # (stations appear once per address family — dedupe).
-                seen = set()
+                # (stations appear once per address family — dedupe by
+                # identity, preserving association-table order so the
+                # replication sequence never depends on id() values).
+                delivered: list = []
                 for station in self.associations.values():
-                    if id(station) in seen:
+                    if any(known is station for known in delivered):
                         continue
-                    seen.add(id(station))
+                    delivered.append(station)
                     self.sim.schedule_now(station.receive, frame.copy())
                 return None
         return None

@@ -24,7 +24,7 @@ ways:
 from __future__ import annotations
 
 import time
-from heapq import heappop, heappush
+from heapq import heappop
 from typing import Any, Callable, Optional, Union
 
 from repro.netsim.scheduler import (
@@ -290,7 +290,9 @@ class Simulator:
         profiler = self.obs.profiler
         tracer = self.obs.tracer
         trace_on = tracer.enabled
-        perf = time.perf_counter
+        # Wall time is the *measurement* here (profiling callback cost),
+        # never an input to the simulation.
+        perf = time.perf_counter  # simlint: disable=SIM101
         if profiler is not None:
             profiler.start_run()
         while not self._stopped:

@@ -20,7 +20,7 @@ Simplifications relative to RFC 793 (documented, deliberate):
 
 from __future__ import annotations
 
-from typing import Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Deque, Dict, Optional, Tuple, TYPE_CHECKING
 from collections import deque
 
 from repro.netsim.address import Address

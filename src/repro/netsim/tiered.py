@@ -228,15 +228,18 @@ class TieredInternet:
 
     def total_queue_drops(self) -> int:
         drops = 0
-        seen = set()
         nodes = [self.core] + self.isps + [
             link.home_router for link in self.links.values()
             if link.home_router is not None
         ] + [link.node for link in self.links.values()]
+        # Dedupe by identity in first-seen order (no id() keys: drop
+        # totals must never correlate with allocation addresses).
+        unique_nodes: list = []
         for network_node in nodes:
-            if id(network_node) in seen:
+            if any(known is network_node for known in unique_nodes):
                 continue
-            seen.add(id(network_node))
+            unique_nodes.append(network_node)
+        for network_node in unique_nodes:
             for device in network_node.devices:
                 queue = getattr(device, "queue", None)
                 if queue is not None and hasattr(queue, "dropped"):

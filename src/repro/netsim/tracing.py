@@ -9,7 +9,7 @@ ML-detection use case (§V-A1) consumes as its feature source.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.netsim.headers import TcpHeader, UdpHeader

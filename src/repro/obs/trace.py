@@ -61,7 +61,9 @@ class EventTracer:
         self._rings: Dict[str, Deque[TraceEvent]] = {}
         self.evicted: Dict[str, int] = {}
         self.emitted: Dict[str, int] = {}
-        self._wall_start = time.perf_counter()
+        # Intentional wall-clock read: the tracer *records* wall time
+        # alongside virtual time; it never feeds the simulation.
+        self._wall_start = time.perf_counter()  # simlint: disable=SIM101
 
     # ------------------------------------------------------------------
     # Emission (hot path when enabled)
@@ -77,9 +79,8 @@ class EventTracer:
         if len(ring) == self.capacity_per_type:
             self.evicted[name] += 1
         self.emitted[name] += 1
-        ring.append(
-            TraceEvent(name, t, time.perf_counter() - self._wall_start, fields)
-        )
+        wall = time.perf_counter() - self._wall_start  # simlint: disable=SIM101
+        ring.append(TraceEvent(name, t, wall, fields))
 
     # ------------------------------------------------------------------
     # Reads

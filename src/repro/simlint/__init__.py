@@ -1,0 +1,75 @@
+"""repro.simlint: the determinism contract, enforced.
+
+Static half — an AST linter with stable ``SIM1xx`` rules over the
+habits that break (config, seed) -> bytes reproducibility: wall-clock
+reads, module-global RNG draws, set iteration into ordered sinks,
+mutable defaults, float time equality, ``id()`` sort keys, and loop
+variables captured by scheduled closures.
+
+Dynamic half — a runtime sanitizer (scheduler tie-break audit, named
+RNG-stream accounting) and a double-run harness that executes a config
+twice and across ``--jobs`` and localizes the first diverging
+``repro.obs`` trace event.
+
+CLI: ``repro lint`` and ``repro verify-determinism`` (both CI gates).
+"""
+
+from repro.simlint.checks import run_checks  # registers every rule
+from repro.simlint.engine import in_clock_allowlist, lint_paths, lint_source
+from repro.simlint.reporting import (
+    SCHEMA_VERSION,
+    format_json,
+    format_text,
+    to_json_document,
+    violations_from_json,
+)
+from repro.simlint.rules import (
+    REGISTRY,
+    Rule,
+    Violation,
+    all_codes,
+    filter_codes,
+    parse_suppressions,
+)
+from repro.simlint.runtime import RngStreamGuard, TieBreakAuditor, audit_run
+from repro.simlint.verify import (
+    CheckResult,
+    DeterminismReport,
+    Divergence,
+    canonical_trace_lines,
+    first_divergence,
+    traced_run,
+    verify_determinism,
+    verify_double_run,
+    verify_jobs,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Rule",
+    "Violation",
+    "all_codes",
+    "filter_codes",
+    "parse_suppressions",
+    "in_clock_allowlist",
+    "lint_paths",
+    "lint_source",
+    "run_checks",
+    "SCHEMA_VERSION",
+    "format_json",
+    "format_text",
+    "to_json_document",
+    "violations_from_json",
+    "RngStreamGuard",
+    "TieBreakAuditor",
+    "audit_run",
+    "CheckResult",
+    "DeterminismReport",
+    "Divergence",
+    "canonical_trace_lines",
+    "first_divergence",
+    "traced_run",
+    "verify_determinism",
+    "verify_double_run",
+    "verify_jobs",
+]
