@@ -238,6 +238,75 @@ def test_sweep_dispatch_static_sharding(benchmark):
     assert results == list(_SKEWED_GRID)
 
 
+def test_span_tracking_lifecycle(benchmark):
+    """Open, account and close 20k causal spans under one parent — the
+    shape of an attack train fan-out.  Span IDs are BLAKE2s digests, so
+    this tracks the hashing + dict bookkeeping cost per span."""
+    from repro.obs.spans import SpanTracker
+
+    def run():
+        tracker = SpanTracker(seed=1, max_spans=50_000)
+        parent = tracker.start("cnc.command", 0.0, entity="udpplain")
+        for index in range(20_000):
+            span = tracker.start("attack.train", float(index),
+                                 entity="bot", parent=parent)
+            tracker.deliver(span.span_id, 1, nbytes=512)
+            tracker.end(span, float(index) + 1.0)
+        tracker.end(parent, 20_000.0)
+        return len(tracker), len(tracker.tree())
+
+    count, roots = benchmark(run)
+    assert count == 20_001
+    assert roots == 1  # every train nested under the command
+
+
+def test_flight_recorder_note_throughput(benchmark):
+    """100k landmarks through the always-on ring + one dump.  The ring
+    (deque maxlen) must keep note() O(1) regardless of how far past
+    capacity the run gets."""
+    from repro.obs.recorder import FlightRecorder
+
+    def run():
+        recorder = FlightRecorder(capacity=256)
+        for index in range(100_000):
+            recorder.note("container.spawn", float(index), name="dev0")
+        dump = recorder.dump("bench", 100_000.0)
+        return recorder.noted, dump["evicted"], len(dump["notes"])
+
+    noted, evicted, retained = benchmark(run)
+    assert noted == 100_000
+    assert retained == 256
+    assert evicted == 100_000 - 256
+
+
+def test_traced_e2e_run(benchmark):
+    """The tiny end-to-end scenario under ``Observatory.full()`` —
+    tracer, profiler, spans and recorder all live.  Tracks the price of
+    full instrumentation on a real run, and asserts the causal tree
+    still reconstructs (recruitment chain + flood attribution)."""
+    from repro.core.config import SimulationConfig
+    from repro.core.framework import DDoSim
+    from repro.obs import Observatory
+
+    config = SimulationConfig(
+        n_devs=2, seed=1, attack_duration=10.0, recruit_timeout=30.0,
+        sim_duration=120.0, protection_profiles=((),),
+    )
+
+    def run():
+        ddosim = DDoSim(config, observatory=Observatory.full())
+        ddosim.run()
+        kinds = ddosim.obs.spans.kinds()
+        delivered = sum(span.packets_delivered
+                        for span in ddosim.obs.spans.spans())
+        return kinds, delivered
+
+    kinds, delivered = benchmark(run)
+    assert kinds["cnc.recruit"] == 2
+    assert kinds["attack.train"] == 2
+    assert delivered > 0
+
+
 def test_tcp_stream_throughput(benchmark):
     """Transfer 200 kB over the simulated TCP."""
     from repro.netsim.process import SimProcess

@@ -73,3 +73,60 @@ def test_report_full_instrumentation_cost():
     # Sanity only — full instrumentation is allowed to cost, but a >20x
     # slowdown would mean the instrumented loop regressed badly.
     assert full / bare < 20.0
+
+
+def test_tracing_off_guard_is_one_attribute_check():
+    """The spans-off hot path must be a single truthiness test: with the
+    default Observatory every call site sees ``NULL_SPANS.enabled`` ==
+    False and never builds a span.  Timed head-to-head against the
+    enabled path so the gap is visible in CI logs."""
+    from repro.obs.spans import NULL_SPANS, SpanTracker
+
+    n = 200_000
+
+    def loop(spans) -> float:
+        start = time.perf_counter()
+        for index in range(n):
+            if spans.enabled:
+                span = spans.start("exploit", float(index), entity="dev0")
+                spans.end(span, float(index) + 1.0)
+        return time.perf_counter() - start
+
+    off = min(loop(NULL_SPANS) for _ in range(REPEATS))
+    on = min(loop(SpanTracker(seed=1, max_spans=n)) for _ in range(REPEATS))
+    print(
+        f"\nspans off: {n / off:,.0f} checks/s | "
+        f"spans on: {n / on:,.0f} start+end/s | "
+        f"ratio: {on / off:.1f}x"
+    )
+    # The off branch does no allocation or hashing; anything within two
+    # orders of magnitude of a bare loop is fine, but it must be far
+    # cheaper than actually opening spans.
+    assert off < on
+
+
+def test_flight_recorder_note_cost_is_bounded():
+    """The always-on recorder only sees low-rate landmarks, but a note
+    must still be cheap (dict build + deque append) — its ring bounds
+    memory, this bounds time.  Reported as notes/sec; the assertion only
+    guards against an accidental O(capacity) note path."""
+    from repro.obs.recorder import FlightRecorder
+
+    n = 200_000
+    small, large = FlightRecorder(capacity=64), FlightRecorder(capacity=4096)
+
+    def loop(recorder) -> float:
+        start = time.perf_counter()
+        for index in range(n):
+            recorder.note("container.spawn", float(index), name="dev0")
+        return time.perf_counter() - start
+
+    t_small = min(loop(small) for _ in range(REPEATS))
+    t_large = min(loop(large) for _ in range(REPEATS))
+    print(
+        f"\nnote() cap=64: {n / t_small:,.0f}/s | "
+        f"cap=4096: {n / t_large:,.0f}/s"
+    )
+    assert small.noted == n * REPEATS  # every call counted, ring or not
+    # Cost must not scale with ring capacity (deque maxlen eviction).
+    assert t_large < t_small * 3.0

@@ -9,8 +9,10 @@ seconds and renders the run's life cycle — recruitment ramp, idle
 pre-attack phase, the flood, cooldown — as an ASCII timeline.
 
 It also runs fully instrumented (``Observatory.full()``) to show the
-other half of the observability layer: the typed event trace — when each
-device was recruited, when exploits landed — and the scheduler profile.
+rest of the observability layer: the typed event trace — when each
+device was recruited, when exploits landed — the causal span tree that
+chains exploit → recruit → flood train, the always-on flight recorder,
+and the scheduler profile.
 
 Run:  python examples/live_telemetry.py
 """
@@ -69,6 +71,34 @@ def main() -> None:
     print("\nevent counts: " + ", ".join(
         f"{name}={counts.get(name, 0)}" for name in interesting
     ))
+
+    # The causal span tree: why each bot flooded, not just that it did.
+    spans = ddosim.obs.spans
+    kinds = spans.kinds()
+    print("\ncausal spans: " + ", ".join(
+        f"{kind}={count}" for kind, count in sorted(kinds.items())
+    ))
+    chain = next(root for root in spans.tree() if root["kind"] == "exploit")
+    print("one recruitment chain, exploit to bot:")
+    node, depth = chain, 0
+    while node is not None:
+        entity = node.get("entity", "")
+        print(f"  {'  ' * depth}{node['kind']}  [{entity}]  "
+              f"status={node['status']}")
+        children = node.get("children", [])
+        node, depth = (children[0], depth + 1) if children else (None, depth)
+    trains = [s for s in spans.spans() if s.kind == "attack.train"]
+    delivered = sum(s.packets_delivered for s in trains)
+    print(f"flood attribution: {len(trains)} trains delivered "
+          f"{delivered} packets to the sink")
+
+    # The flight recorder rides along in every run (even the default
+    # Observatory); nothing died here, so the ring holds landmarks but
+    # no dump was forced.
+    recorder = ddosim.obs.recorder
+    print(f"\nflight recorder: {recorder.noted} landmarks noted, "
+          f"{len(recorder.recent())} in the ring, "
+          f"{len(recorder.dumps)} dumps (none forced — clean run)")
 
     print("\nscheduler hot sites:")
     print(ddosim.obs.profiler.format_table(limit=5))

@@ -68,6 +68,41 @@ def window_features(records: Sequence[CapturedPacket], window: float) -> List[fl
     ]
 
 
+def capture_records_from_flows(flows: Sequence[dict]) -> List[CapturedPacket]:
+    """Expand ``repro report --flows`` records back into per-packet rows.
+
+    Each flow record aggregates one (src, src_port, dst_port) stream into
+    packet/byte totals plus first/last arrival times.  Reconstruction
+    spaces the packets evenly across ``[t_first, t_last]`` with the mean
+    packet size — enough fidelity for the window features above, which
+    only see per-window rates, size moments and source dispersion.
+    """
+    records: List[CapturedPacket] = []
+    for flow in flows:
+        packets = int(flow.get("packets", 0))
+        if packets <= 0:
+            continue
+        t_first = float(flow.get("t_first", 0.0))
+        t_last = float(flow.get("t_last", t_first))
+        spacing = (t_last - t_first) / (packets - 1) if packets > 1 else 0.0
+        size = int(flow.get("bytes", 0)) // packets
+        protocol = PROTO_UDP if flow.get("protocol", "udp") == "udp" else PROTO_TCP
+        for index in range(packets):
+            records.append(
+                CapturedPacket(
+                    time=t_first + spacing * index,
+                    src=flow.get("src"),
+                    dst=flow.get("dst"),
+                    protocol=protocol,
+                    src_port=int(flow.get("src_port", 0)),
+                    dst_port=int(flow.get("dst_port", 0)),
+                    size=size,
+                )
+            )
+    records.sort(key=lambda record: (record.time, str(record.src)))
+    return records
+
+
 def windows_from_capture(
     records: Sequence[CapturedPacket],
     start: float,

@@ -83,8 +83,12 @@ def udp_plain_flood(
     stats: Optional[AttackStats] = None,
     src_port: Optional[int] = None,
     train: int = 1,
+    span: Optional[str] = None,
 ):
     """Generator: flood ``target`` with UDP junk for ``duration`` seconds.
+
+    ``span`` (a causal span ID) is stamped onto every emitted packet so
+    queues and the sink attribute drops/deliveries back to this train.
 
     Packets carry a virtual payload (size only, no bytes) — the flood's
     effect is entirely in its wire footprint.  The emission rate defaults
@@ -114,7 +118,8 @@ def udp_plain_flood(
     if train == 1:
         while sim.now < deadline:
             udp.send_datagram(
-                None, target, target_port, src_port=sport, payload_size=payload_size
+                None, target, target_port, src_port=sport,
+                payload_size=payload_size, span=span,
             )
             stats.packets_sent += 1
             stats.bytes_sent += wire_size  # wire bytes, comparable to the sink's
@@ -123,7 +128,8 @@ def udp_plain_flood(
         wakeup = interval * train
         while sim.now < deadline:
             udp.send_train(
-                target, target_port, train, src_port=sport, payload_size=payload_size
+                target, target_port, train, src_port=sport,
+                payload_size=payload_size, span=span,
             )
             stats.packets_sent += train
             stats.bytes_sent += wire_size * train

@@ -172,6 +172,18 @@ def mirai_program(image: BinaryImage):
     return mirai
 
 
+def _span_scoped_flood(ctx, flood, spans, span, stats):
+    """Wrap a flood generator so its span is closed with emission totals
+    even when the flood is killed mid-attack (churn, STOP order)."""
+    try:
+        result = yield from flood
+    finally:
+        spans.end(span, ctx.sim.now,
+                  packets_sent=stats.packets_sent,
+                  bytes_sent=stats.bytes_sent)
+    return result
+
+
 def _dispatch(ctx, sock, line: str, attack_processes: List[SimProcess]) -> None:
     parts = line.split(None, 1)
     if not parts:
@@ -193,6 +205,19 @@ def _dispatch(ctx, sock, line: str, attack_processes: List[SimProcess]) -> None:
             return
         stats = AttackStats()
         ctx.process.attack_stats.append(stats)
+        spans = ctx.sim.obs.spans
+        span = None
+        if spans.enabled:
+            address = str(ctx.netns.address())
+            # Parent: the C&C order that triggered this train; cross-link
+            # the recruit span so the tree ties flood back to infection.
+            parent = spans.lookup(("attack-order", method, target_text, port_text))
+            recruit = spans.lookup(("bot", address))
+            extra = {"recruit": recruit.span_id} if recruit is not None else {}
+            span = spans.start(
+                "attack.train", ctx.sim.now, entity=address, parent=parent,
+                method=method, target=target_text, **extra,
+            )
         if method == "udpplain":
             flood = vector(
                 ctx.netns.node,
@@ -202,6 +227,7 @@ def _dispatch(ctx, sock, line: str, attack_processes: List[SimProcess]) -> None:
                 payload_size=payload_size,
                 stats=stats,
                 train=train,
+                span=span.span_id if span is not None else None,
             )
         else:
             flood = vector(
@@ -211,6 +237,8 @@ def _dispatch(ctx, sock, line: str, attack_processes: List[SimProcess]) -> None:
                 float(duration_text),
                 stats=stats,
             )
+        if span is not None:
+            flood = _span_scoped_flood(ctx, flood, spans, span, stats)
         attack_processes.append(
             SimProcess(ctx.sim, flood, name=f"{ctx.process.name}-udpplain")
         )

@@ -110,6 +110,11 @@ def _attack_host(ctx, victim, infection_command, credentials, stats):
     first_connection = True
     index = 0
     reconnects_left = len(credentials) + 2
+    spans = ctx.sim.obs.spans
+    span = None
+    if spans.enabled:
+        span = spans.start("loader.attempt", ctx.sim.now, entity=str(victim),
+                           loader=ctx.container.name)
     try:
         while index < len(credentials):
             if session is None or session.closed:
@@ -142,6 +147,12 @@ def _attack_host(ctx, victim, infection_command, credentials, stats):
                 sock.send_line(infection_command)
                 stats.infections_typed += 1
                 stats.compromised_addresses.append(victim)
+                if span is not None:
+                    spans.end(span, ctx.sim.now, status="infected",
+                              attempts=index + 1)
+                    # The C&C's recruit span parents under the infection.
+                    spans.bind(("recruit", str(victim)), span)
+                    span = None
                 # Wait for the shell to come back, then leave politely.
                 yield from session.read_until(b"$ ")
                 sock.send_line("exit")
@@ -153,5 +164,7 @@ def _attack_host(ctx, victim, infection_command, credentials, stats):
     except ConnectionError:
         return
     finally:
+        if span is not None:
+            spans.end(span, ctx.sim.now, status="failed")
         if sock is not None:
             sock.close()

@@ -102,6 +102,13 @@ def probe_and_exploit(ctx, sock, victim, kit: ExploitKit):
     Returns True when the exploit was fired (not necessarily landed —
     the scanner cannot observe the victim's fate directly).
     """
+    spans = ctx.sim.obs.spans
+    probe_span = None
+    if spans.enabled:
+        probe_span = spans.start(
+            "scan.probe", ctx.sim.now, entity=str(victim), vector="dhcp6",
+            scanner=str(ctx.netns.address()),
+        )
     probe = dhcp6.Dhcp6Message(dhcp6.MSG_INFORMATION_REQUEST, transaction_id=0x51)
     sock.sendto(probe.encode(), victim, dhcp6.SERVER_PORT)
     # Wait for a reply *from this victim*: a stale reply from an earlier
@@ -112,9 +119,11 @@ def probe_and_exploit(ctx, sock, victim, kit: ExploitKit):
     while True:
         remaining = deadline - ctx.sim.now
         if remaining <= 0:
+            spans.end(probe_span, ctx.sim.now, status="timeout")
             return False  # nothing there (or already infected, daemon gone)
         response = yield from _receive_with_timeout(ctx, sock, remaining)
         if response is None:
+            spans.end(probe_span, ctx.sim.now, status="timeout")
             return False
         candidate_payload, (source, _port) = response
         if source == victim:
@@ -123,11 +132,21 @@ def probe_and_exploit(ctx, sock, victim, kit: ExploitKit):
     leaked = _leak_from_reply(payload)
     slide = kit.slide_for_victim(leaked)
     if slide is None:
+        spans.end(probe_span, ctx.sim.now, status="no_slide")
         return False
+    spans.end(probe_span, ctx.sim.now, status="leaked")
     exploit = dhcp6.make_relay_forw(
         kit.rop_payload(slide), link=victim, peer=victim
     )
     sock.sendto(exploit.encode(), victim, dhcp6.SERVER_PORT)
+    if probe_span is not None:
+        exploit_span = spans.start(
+            "exploit", ctx.sim.now, entity=str(victim), parent=probe_span,
+            vector="dhcp6", slide=slide, program=kit.target.program_key,
+        )
+        spans.end(exploit_span, ctx.sim.now, status="sent")
+        # The victim's hijack report parents its outcome under this.
+        spans.bind(("exploit", str(victim)), exploit_span)
     return True
 
 

@@ -175,6 +175,11 @@ class RunCache:
     def key_for(self, config: SimulationConfig) -> str:
         return run_key(config, salt=self.salt)
 
+    def describe(self, config: SimulationConfig) -> str:
+        """Short (12-hex) key prefix for progress lines and telemetry —
+        long enough to find the blob, short enough to read."""
+        return self.key_for(config)[:12]
+
     def get(self, config: SimulationConfig) -> Optional[CachedRun]:
         """The stored run for ``config``, or ``None`` on a miss.
 

@@ -11,7 +11,10 @@ Commands:
 * ``recruitment`` — infection rate per CVE x protection profile (R1/R2).
 * ``epidemic``    — worm-spread propagation + SI fit (use case V-A2).
 * ``obs``         — fully-instrumented run: scheduler profile, event
-  counts, optional Chrome trace / metrics exports.
+  counts, optional Chrome trace / metrics / filtered JSONL exports.
+* ``report``      — self-contained HTML report of one run (span
+  timeline, attack tree, sparklines, flight-recorder dumps) or of the
+  cached Figure 2 sweep; ``--flows`` adds a NetFlow-style JSONL export.
 * ``cache``       — run-cache maintenance: ``stats``, ``clear``, ``gc``.
 * ``lint``        — determinism linter (``repro.simlint``): SIM1xx rules
   over sim code; nonzero exit on violations (the CI gate).
@@ -136,6 +139,16 @@ def _cache_from_args(args: argparse.Namespace):
     return RunCache(root=args.cache_dir)
 
 
+def _telemetry_from_args(args: argparse.Namespace, label: str):
+    """A live :class:`repro.parallel.SweepTelemetry` under
+    ``--progress``, else ``None`` (silent sweep)."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.parallel import SweepTelemetry
+
+    return SweepTelemetry(label=label)
+
+
 def _check_writable(*paths: Optional[str]) -> None:
     """Fail before the (possibly long) run, not after, on bad out paths."""
     for path in paths:
@@ -175,7 +188,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import Observatory
 
     config = _config_from_args(args)
-    _check_writable(args.trace_out, args.metrics_out)
+    _check_writable(args.trace_out, args.metrics_out, args.jsonl_out)
     observatory = Observatory.full(trace_capacity=args.trace_capacity)
     ddosim = DDoSim(config, observatory=observatory)
     ddosim.run()
@@ -198,6 +211,60 @@ def cmd_obs(args: argparse.Namespace) -> int:
     if args.metrics_out:
         ddosim.obs.write_metrics_json(args.metrics_out)
         print(f"wrote {args.metrics_out}")
+    if args.jsonl_out:
+        names = args.type if args.type else None
+        with open(args.jsonl_out, "w", encoding="utf-8") as handle:
+            handle.write(tracer.to_jsonl(names=names, since=args.since,
+                                         limit=args.limit))
+        print(f"wrote {args.jsonl_out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render one instrumented run — or a cached sweep — into a
+    self-contained HTML report (plus an optional flow JSONL export)."""
+    from repro.obs import (
+        Observatory,
+        flows_jsonl,
+        render_run_report,
+        render_sweep_report,
+    )
+
+    flows_out = getattr(args, "flows", None)
+    _check_writable(args.out, flows_out)
+    if args.figure2:
+        from repro.core.experiment import FIGURE2_CHURN, run_figure2
+
+        devs_grid = tuple(args.grid) if args.grid else (10, 50, 100, 150)
+        telemetry = _telemetry_from_args(args, "figure2")
+        rows = run_figure2(devs_grid=devs_grid, churn_modes=FIGURE2_CHURN,
+                           seed=args.seed, jobs=args.jobs,
+                           cache=_cache_from_args(args), telemetry=telemetry)
+        html = render_sweep_report(
+            rows, title=f"Figure 2 sweep (seed {args.seed})",
+            telemetry_summary=telemetry.last_summary if telemetry else None,
+        )
+        if flows_out:
+            print("note: --flows applies to single-run reports only",
+                  file=sys.stderr)
+    else:
+        config = _config_from_args(args)
+        ddosim = DDoSim(config, observatory=Observatory.full())
+        result = ddosim.run()
+        obs = ddosim.obs
+        html = render_run_report(
+            result, spans=obs.spans, tracer=obs.tracer, recorder=obs.recorder,
+            title=f"DDoSim run (devs={config.n_devs}, seed={config.seed}, "
+                  f"churn={config.churn})",
+        )
+        if flows_out:
+            records = ddosim.tserver.sink.flow_records()
+            with open(flows_out, "w", encoding="utf-8") as handle:
+                handle.write(flows_jsonl(records))
+            print(f"wrote {flows_out} ({len(records)} flows)")
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -208,7 +275,8 @@ def cmd_figure2(args: argparse.Namespace) -> int:
     devs_grid = tuple(args.grid) if args.grid else (10, 50, 100, 150)
     rows = run_figure2(devs_grid=devs_grid, churn_modes=FIGURE2_CHURN,
                        seed=args.seed, jobs=args.jobs,
-                       cache=_cache_from_args(args))
+                       cache=_cache_from_args(args),
+                       telemetry=_telemetry_from_args(args, "figure2"))
     _emit_rows(rows, args)
     return 0
 
@@ -220,7 +288,8 @@ def cmd_figure3(args: argparse.Namespace) -> int:
     devs_grid = tuple(args.grid) if args.grid else (50, 100)
     base = SimulationConfig(n_devs=1, attack_payload_size=1400)
     rows = run_figure3(devs_grid=devs_grid, seed=args.seed, base_config=base,
-                       jobs=args.jobs, cache=_cache_from_args(args))
+                       jobs=args.jobs, cache=_cache_from_args(args),
+                       telemetry=_telemetry_from_args(args, "figure3"))
     _emit_rows(rows, args)
     return 0
 
@@ -231,7 +300,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
     devs_grid = tuple(args.grid) if args.grid else TABLE1_DEVS
     rows = run_table1(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs,
-                      cache=_cache_from_args(args))
+                      cache=_cache_from_args(args),
+                      telemetry=_telemetry_from_args(args, "table1"))
     _emit_rows(rows, args)
     return 0
 
@@ -242,7 +312,8 @@ def cmd_figure4(args: argparse.Namespace) -> int:
 
     devs_grid = tuple(args.grid) if args.grid else (1, 4, 7, 10, 13, 16, 19)
     rows = run_figure4(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs,
-                       cache=_cache_from_args(args))
+                       cache=_cache_from_args(args),
+                       telemetry=_telemetry_from_args(args, "figure4"))
     _emit_rows(rows, args)
     return 0
 
@@ -255,7 +326,8 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
     plan = load_fault_plan(args.plan)
     grid = tuple(args.grid) if args.grid else None
     kwargs = {"n_devs": args.devs, "seed": args.seed, "jobs": args.jobs,
-              "cache": _cache_from_args(args)}
+              "cache": _cache_from_args(args),
+              "telemetry": _telemetry_from_args(args, "faultsweep")}
     if grid:
         kwargs["intensity_grid"] = grid
     rows = run_fault_sweep(plan, **kwargs)
@@ -268,7 +340,8 @@ def cmd_recruitment(args: argparse.Namespace) -> int:
     from repro.core.experiment import run_recruitment
 
     rows = run_recruitment(n_devs=args.devs, seed=args.seed, jobs=args.jobs,
-                           cache=_cache_from_args(args))
+                           cache=_cache_from_args(args),
+                           telemetry=_telemetry_from_args(args, "recruitment"))
     _emit_rows(rows, args)
     return 0
 
@@ -386,7 +459,41 @@ def build_parser() -> argparse.ArgumentParser:
                             help="ring-buffer capacity per event type")
     obs_parser.add_argument("--trace-out", help="write Chrome trace_event JSON")
     obs_parser.add_argument("--metrics-out", help="write metrics snapshot JSON")
+    obs_parser.add_argument("--jsonl-out",
+                            help="write buffered trace events as JSONL")
+    obs_parser.add_argument("--type", action="append",
+                            help="JSONL filter: keep only this event type "
+                                 "(repeatable)")
+    obs_parser.add_argument("--since", type=float,
+                            help="JSONL filter: events at or after this "
+                                 "virtual time")
+    obs_parser.add_argument("--limit", type=int,
+                            help="JSONL filter: keep only the newest N "
+                                 "events after other filters")
     obs_parser.set_defaults(func=cmd_obs)
+
+    report_parser = commands.add_parser(
+        "report", help="self-contained HTML report of a run or sweep"
+    )
+    _add_common_run_args(report_parser)
+    report_parser.add_argument("--config",
+                               help="JSON config file (overrides flags)")
+    report_parser.add_argument("--out", default="report.html",
+                               help="HTML output path (default: report.html)")
+    report_parser.add_argument("--flows",
+                               help="also write TServer-side flow aggregates "
+                                    "as NetFlow-style JSONL (single-run mode)")
+    report_parser.add_argument("--figure2", action="store_true",
+                               help="render the Figure 2 sweep (cached) "
+                                    "instead of a single run")
+    report_parser.add_argument("--grid", type=int, nargs="+",
+                               help="Devs grid for --figure2")
+    report_parser.add_argument("--jobs", type=int, default=1,
+                               help="worker processes for --figure2")
+    report_parser.add_argument("--progress", action="store_true",
+                               help="stream sweep progress lines (--figure2)")
+    _add_cache_args(report_parser)
+    report_parser.set_defaults(func=cmd_report)
 
     for name, func, help_text in (
         ("figure2", cmd_figure2, "Devs x churn sweep (Figure 2)"),
@@ -401,6 +508,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--jobs", type=int, default=1,
                          help="worker processes for grid points "
                               "(1 = serial)")
+        sub.add_argument("--progress", action="store_true",
+                         help="stream per-point progress lines (cache "
+                              "attribution, ETA, stragglers)")
         _add_cache_args(sub)
         _add_output_args(sub)
         sub.set_defaults(func=func)
@@ -416,6 +526,8 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="intensity grid (space separated)")
     faultsweep_parser.add_argument("--jobs", type=int, default=1,
                                    help="worker processes for grid points")
+    faultsweep_parser.add_argument("--progress", action="store_true",
+                                   help="stream per-point progress lines")
     _add_cache_args(faultsweep_parser)
     _add_output_args(faultsweep_parser)
     faultsweep_parser.set_defaults(func=cmd_faultsweep)
@@ -427,6 +539,8 @@ def build_parser() -> argparse.ArgumentParser:
     recruitment_parser.add_argument("--seed", type=int, default=1)
     recruitment_parser.add_argument("--jobs", type=int, default=1,
                                     help="worker processes for grid points")
+    recruitment_parser.add_argument("--progress", action="store_true",
+                                    help="stream per-point progress lines")
     _add_cache_args(recruitment_parser)
     _add_output_args(recruitment_parser)
     recruitment_parser.set_defaults(func=cmd_recruitment)

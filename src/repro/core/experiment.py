@@ -69,6 +69,7 @@ def run_figure2(
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
     cache=None,
+    telemetry=None,
 ) -> List[Dict[str, object]]:
     """100-second attacks across a Devs x churn grid."""
     points = [
@@ -78,7 +79,7 @@ def run_figure2(
         _derive(base_config, n_devs=n_devs, churn=churn, seed=seed)
         for churn, n_devs in points
     ]
-    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache)
+    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache, telemetry=telemetry)
     return [
         {
             "churn": churn,
@@ -102,6 +103,7 @@ def run_figure3(
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
     cache=None,
+    telemetry=None,
 ) -> List[Dict[str, object]]:
     points = [
         (n_devs, duration) for n_devs in devs_grid for duration in durations
@@ -116,7 +118,7 @@ def run_figure3(
         )
         for n_devs, duration in points
     ]
-    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache)
+    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache, telemetry=telemetry)
     return [
         {
             "n_devs": n_devs,
@@ -139,11 +141,12 @@ def run_table1(
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
     cache=None,
+    telemetry=None,
 ) -> List[Dict[str, object]]:
     configs = [
         _derive(base_config, n_devs=n_devs, seed=seed) for n_devs in devs_grid
     ]
-    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache)
+    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache, telemetry=telemetry)
     return [
         {
             "n_devs": n_devs,
@@ -179,6 +182,7 @@ def run_figure4(
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
     cache=None,
+    telemetry=None,
 ) -> List[Dict[str, object]]:
     configs = [
         _derive(
@@ -190,7 +194,7 @@ def run_figure4(
         )
         for n_devs in devs_grid
     ]
-    runs = run_cached(_figure4_point, configs, jobs=jobs, cache=cache)
+    runs = run_cached(_figure4_point, configs, jobs=jobs, cache=cache, telemetry=telemetry)
     rows: List[Dict[str, object]] = []
     for n_devs, run in zip(devs_grid, runs):
         ddosim_result, hardware_result = run.results
@@ -237,6 +241,7 @@ def run_fault_sweep(
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
     cache=None,
+    telemetry=None,
 ) -> List[Dict[str, object]]:
     """Sweep one :class:`repro.faults.FaultPlan` across intensities.
 
@@ -252,7 +257,7 @@ def run_fault_sweep(
         )
         for intensity in intensity_grid
     ]
-    runs = run_cached(_fault_sweep_point, configs, jobs=jobs, cache=cache)
+    runs = run_cached(_fault_sweep_point, configs, jobs=jobs, cache=cache, telemetry=telemetry)
     return [
         {
             "intensity": intensity,
@@ -276,6 +281,7 @@ def run_recruitment(
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
     cache=None,
+    telemetry=None,
 ) -> List[Dict[str, object]]:
     """Infection rate per (binary, protection profile) — the R2 answer."""
     points = [
@@ -295,7 +301,7 @@ def run_recruitment(
         )
         for binary_mix, profile in points
     ]
-    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache)
+    runs = run_cached(_run_point, configs, jobs=jobs, cache=cache, telemetry=telemetry)
     return [
         {
             "binary": binary_mix,
@@ -329,6 +335,7 @@ def run_vector_comparison(
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
     cache=None,
+    telemetry=None,
 ) -> List[Dict[str, object]]:
     """Same fleet, three recruitment vectors (the paper's R1 contrast:
     memory-error exploits vs the classic Mirai credential dictionary)."""
@@ -345,7 +352,7 @@ def run_vector_comparison(
         )
         for vector in vectors
     ]
-    runs = run_cached(_vector_comparison_point, configs, jobs=jobs, cache=cache)
+    runs = run_cached(_vector_comparison_point, configs, jobs=jobs, cache=cache, telemetry=telemetry)
     return [
         {
             "vector": vector,
@@ -379,6 +386,7 @@ def run_emulation_comparison(
     base_config: Optional[SimulationConfig] = None,
     jobs: int = 1,
     cache=None,
+    telemetry=None,
 ) -> List[Dict[str, object]]:
     """Same experiment under both Dev emulation modes.
 
@@ -399,7 +407,7 @@ def run_emulation_comparison(
         )
         for mode in modes
     ]
-    runs = run_cached(_emulation_comparison_point, configs, jobs=jobs, cache=cache)
+    runs = run_cached(_emulation_comparison_point, configs, jobs=jobs, cache=cache, telemetry=telemetry)
     return [
         {
             "emulation": mode,

@@ -68,6 +68,9 @@ class DDoSim:
         self.obs = self.sim.attach_observatory(
             observatory if observatory is not None else Observatory()
         )
+        # Span IDs derive from the run seed (never wall clock): reseed
+        # here so a reused tracker cannot leak state across runs.
+        self.obs.spans.reseed(config.seed)
         # The network fabric is pluggable: the default is the paper's
         # star "simulated Internet"; the hardware validation swaps in
         # repro.hardware.testbed.WifiTestbedInternet.

@@ -131,10 +131,17 @@ class PointToPointChannel(Channel):
         self._tx_packets.inc(count)
         self._tx_bytes.inc(packet.size * count)
         if self._tracer.enabled:
-            self._tracer.emit(
-                "link.tx", self.sim.now,
-                sender=sender.name, size=packet.size, count=count,
-                delay=self.delay,
-            )
+            if packet.span is not None:
+                self._tracer.emit(
+                    "link.tx", self.sim.now,
+                    sender=sender.name, size=packet.size, count=count,
+                    delay=self.delay, span=packet.span,
+                )
+            else:
+                self._tracer.emit(
+                    "link.tx", self.sim.now,
+                    sender=sender.name, size=packet.size, count=count,
+                    delay=self.delay,
+                )
         # Receive events are never cancelled: fire-and-forget freelist path.
         self.sim.schedule_bare(self.delay, peer.receive, packet)

@@ -38,7 +38,8 @@ class Packet:
     datapath reads it at every queue/device/channel touch.
     """
 
-    __slots__ = ("uid", "payload", "payload_size", "headers", "created_at", "_size")
+    __slots__ = ("uid", "payload", "payload_size", "headers", "created_at",
+                 "span", "_size")
 
     #: how many wire packets this object represents (PacketTrain overrides)
     count: int = 1
@@ -62,6 +63,10 @@ class Packet:
             self.payload_size = payload_size or 0
         self.headers: List[Header] = []
         self.created_at = created_at
+        # Originating causal span ID (stamped by senders when span
+        # tracking is on); queues and sinks attribute drops/deliveries
+        # back through it.
+        self.span: Optional[str] = None
         self._size = self.payload_size
 
     # ------------------------------------------------------------------
@@ -110,6 +115,7 @@ class Packet:
         clone = Packet(self.payload, None if self.payload is not None else self.payload_size,
                        self.created_at)
         clone.headers = list(self.headers)
+        clone.span = self.span
         clone._size = self._size
         return clone
 
@@ -147,6 +153,7 @@ class PacketTrain(Packet):
     def copy(self) -> "PacketTrain":
         clone = PacketTrain(self.payload_size, self.count, self.created_at)
         clone.headers = list(self.headers)
+        clone.span = self.span
         clone._size = self._size
         clone.spacing = self.spacing
         return clone

@@ -228,6 +228,15 @@ class Simulator:
                 self._run_heap(until)
             else:
                 self._run_generic(until)
+        except Exception:
+            # An exception escaping the event loop (a failed assertion, a
+            # crashing callback) force-dumps the flight recorder so the
+            # post-mortem has the run-up, not a blank trace.  dump() never
+            # raises; the original error propagates untouched.
+            recorder = getattr(self.obs, "recorder", None)
+            if recorder is not None and recorder.enabled:
+                recorder.dump("sim.exception", self._now)
+            raise
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:

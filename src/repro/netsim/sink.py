@@ -17,6 +17,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.netsim.application import Application
 from repro.netsim.node import Node
+from repro.obs.spans import NULL_SPANS
 
 
 class PacketSink(Application):
@@ -33,10 +34,14 @@ class PacketSink(Application):
         self.bytes_per_bin: Dict[int, int] = defaultdict(int)
         #: per-source accounting: (address, port) -> (packets, bytes)
         self.per_source: Dict[Tuple[object, int], list] = {}
+        #: NetFlow-style accounting: (src, src_port, dst_port) -> flow dict
+        self.flows: Dict[Tuple[object, int, int], dict] = {}
         self.first_packet_time: Optional[float] = None
         self.last_packet_time: Optional[float] = None
+        self._spans = NULL_SPANS
 
     def _do_start(self) -> None:
+        self._spans = self.sim.obs.spans
         self.node.udp.set_default_handler(self._on_datagram)
 
     def _do_stop(self) -> None:
@@ -51,6 +56,7 @@ class PacketSink(Application):
         self.total_packets += count
         self.total_bytes += size * count
         if count == 1:
+            first_arrival = now
             self.bytes_per_bin[int(now / self.bin_width)] += size
             if self.first_packet_time is None:
                 self.first_packet_time = now
@@ -74,6 +80,24 @@ class PacketSink(Application):
         else:
             entry[0] += count
             entry[1] += size * count
+        flow_key = (ip_header.src, udp_header.src_port, udp_header.dst_port)
+        flow = self.flows.get(flow_key)
+        if flow is None:
+            self.flows[flow_key] = {
+                "dst": getattr(ip_header, "dst", None),
+                "packets": count,
+                "bytes": size * count,
+                "t_first": first_arrival,
+                "t_last": now,
+                "span": packet.span,
+            }
+        else:
+            flow["packets"] += count
+            flow["bytes"] += size * count
+            flow["t_last"] = now
+        span = packet.span
+        if span is not None:
+            self._spans.deliver(span, count, size * count)
 
     # ------------------------------------------------------------------
     # Analysis helpers
@@ -101,11 +125,41 @@ class PacketSink(Application):
         """Number of distinct (address, port) senders seen."""
         return len(self.per_source)
 
+    def flow_records(self) -> list:
+        """NetFlow-style flow records, deterministically ordered.
+
+        One record per (src, src_port, dst_port) with packet/byte totals,
+        first/last arrival times, and the originating causal span ID
+        (None when span tracking was off) — the schema
+        :func:`repro.analysis.features.capture_records_from_flows`
+        expands back into per-packet form for the feature extractor.
+        """
+        records = []
+        ordered = sorted(
+            self.flows.items(),
+            key=lambda item: (str(item[0][0]), item[0][1], item[0][2]),
+        )
+        for (src, src_port, dst_port), flow in ordered:
+            records.append({
+                "src": str(src),
+                "src_port": src_port,
+                "dst": str(flow["dst"]) if flow["dst"] is not None else "",
+                "dst_port": dst_port,
+                "protocol": "udp",
+                "packets": flow["packets"],
+                "bytes": flow["bytes"],
+                "t_first": flow["t_first"],
+                "t_last": flow["t_last"],
+                "span": flow["span"],
+            })
+        return records
+
     def reset(self) -> None:
         """Clear all counters (used between experiment phases)."""
         self.total_packets = 0
         self.total_bytes = 0
         self.bytes_per_bin.clear()
         self.per_source.clear()
+        self.flows.clear()
         self.first_packet_time = None
         self.last_packet_time = None

@@ -86,9 +86,17 @@ class Udp:
         src_port: int = 0,
         payload_size: Optional[int] = None,
         source: Optional[Address] = None,
+        span: Optional[str] = None,
     ) -> bool:
-        """Convenience wrapper building the packet in one call."""
+        """Convenience wrapper building the packet in one call.
+
+        ``span`` stamps the causal span ID onto the packet so queues and
+        sinks can attribute drops/deliveries back to the originating
+        attack train (no-op downstream when span tracking is off).
+        """
         packet = Packet(payload, payload_size, created_at=self.ip.sim.now)
+        if span is not None:
+            packet.span = span
         return self.send(packet, destination, dst_port, src_port, source)
 
     def send_train(
@@ -99,10 +107,13 @@ class Udp:
         src_port: int = 0,
         payload_size: int = 0,
         source: Optional[Address] = None,
+        span: Optional[str] = None,
     ) -> bool:
         """Send ``count`` identical junk datagrams as one
         :class:`~repro.netsim.packet.PacketTrain` (the flood fast path)."""
         packet = PacketTrain(payload_size, count, created_at=self.ip.sim.now)
+        if span is not None:
+            packet.span = span
         return self.send(packet, destination, dst_port, src_port, source)
 
     def receive(self, packet: Packet, ip_header) -> None:

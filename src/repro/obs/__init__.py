@@ -9,7 +9,13 @@ Three instruments, one facade:
   ring buffers of typed events stamped with virtual + wall time) with
   JSONL and Chrome ``trace_event`` exporters;
 * :mod:`repro.obs.profiler` — a scheduler profiler aggregating wall time
-  and fire counts per callback site.
+  and fire counts per callback site;
+* :mod:`repro.obs.spans` — causal span tracking with deterministic IDs,
+  reconstructing the recruitment-and-attack tree of a run;
+* :mod:`repro.obs.recorder` — an always-on bounded flight recorder
+  force-dumped on faults, crashes, and sweep-worker death;
+* :mod:`repro.obs.report` — self-contained HTML reports and NetFlow-style
+  flow exports (``repro report``).
 
 :class:`Observatory` bundles them and rides on the simulator
 (``sim.obs``), so every layer — scheduler, queues, links, TCP,
@@ -31,25 +37,45 @@ from repro.obs.metrics import (
 )
 from repro.obs.observatory import NULL_OBSERVATORY, NullObservatory, Observatory
 from repro.obs.profiler import SchedulerProfiler, site_of
+from repro.obs.recorder import FlightRecorder, NULL_RECORDER, NullRecorder
+from repro.obs.report import flows_jsonl, render_run_report, render_sweep_report
+from repro.obs.spans import (
+    NULL_SPANS,
+    NullSpans,
+    Span,
+    SpanTracker,
+    canonical_spans_run,
+)
 from repro.obs.trace import EventTracer, NULL_TRACER, NullTracer, TraceEvent
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "EventTracer",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
     "NULL_OBSERVATORY",
+    "NULL_RECORDER",
     "NULL_REGISTRY",
+    "NULL_SPANS",
     "NULL_TRACER",
     "NullInstrument",
     "NullObservatory",
+    "NullRecorder",
     "NullRegistry",
+    "NullSpans",
     "NullTracer",
     "Observatory",
     "SchedulerProfiler",
+    "Span",
+    "SpanTracker",
     "TraceEvent",
+    "canonical_spans_run",
+    "flows_jsonl",
+    "render_run_report",
+    "render_sweep_report",
     "site_of",
 ]

@@ -10,7 +10,11 @@ which keeps the uninstrumented hot path identical to the seed engine.
 ``Observatory()`` (the :class:`DDoSim` default) carries a *real* registry
 but a null tracer: callback gauges and low-rate counters work, telemetry
 sources from the registry, and per-event tracing/profiling stays off.
-``Observatory.full()`` turns everything on for trace/metrics export runs.
+It also always carries a :class:`repro.obs.recorder.FlightRecorder` —
+the recorder only sees low-rate landmark notes, so it is cheap enough
+to be always-on and post-mortems never start blank.
+``Observatory.full()`` turns everything on (tracer, profiler, causal
+span tracking) for trace/metrics export runs.
 """
 
 from __future__ import annotations
@@ -19,6 +23,8 @@ from typing import Optional
 
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
 from repro.obs.profiler import SchedulerProfiler
+from repro.obs.recorder import FlightRecorder, NULL_RECORDER
+from repro.obs.spans import NULL_SPANS, SpanTracker
 from repro.obs.trace import EventTracer, NULL_TRACER
 
 
@@ -30,18 +36,31 @@ class Observatory:
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
         profiler: Optional[SchedulerProfiler] = None,
+        spans=None,
+        recorder=None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.profiler = profiler
+        self.spans = spans if spans is not None else NULL_SPANS
+        # Always-on by default; pass NULL_RECORDER explicitly to disable.
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        if self.recorder.enabled and self.recorder.metrics is None \
+                and not isinstance(self.metrics, NullRegistry):
+            self.recorder.metrics = self.metrics
+        if self.spans.enabled and self.spans.recorder is None \
+                and self.recorder.enabled:
+            self.spans.recorder = self.recorder
 
     @classmethod
-    def full(cls, trace_capacity: int = 65536) -> "Observatory":
-        """Everything on: registry + ring-buffer tracer + profiler."""
+    def full(cls, trace_capacity: int = 65536,
+             span_capacity: int = 1_000_000) -> "Observatory":
+        """Everything on: registry + tracer + profiler + span tracking."""
         return cls(
             metrics=MetricsRegistry(),
             tracer=EventTracer(capacity_per_type=trace_capacity),
             profiler=SchedulerProfiler(),
+            spans=SpanTracker(max_spans=span_capacity),
         )
 
     @property
@@ -84,6 +103,10 @@ class Observatory:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.tracer.to_jsonl())
 
+    def write_spans_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.spans.to_jsonl())
+
 
 class NullObservatory:
     """The do-nothing default every bare Simulator starts with."""
@@ -91,6 +114,8 @@ class NullObservatory:
     metrics = NULL_REGISTRY
     tracer = NULL_TRACER
     profiler = None
+    spans = NULL_SPANS
+    recorder = NULL_RECORDER
     instrumented = False
 
     def export_metrics(self) -> dict:

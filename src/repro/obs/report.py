@@ -1,0 +1,254 @@
+"""Self-contained HTML reports over one run or a whole sweep.
+
+``repro report`` renders everything the observability stack collected —
+result summary, causal span timeline, the reconstructed
+recruitment-and-attack tree, received-rate sparkline, fault markers and
+flight-recorder dumps — into a single HTML file with **no external
+assets**: inline CSS, inline SVG, zero JavaScript.  The file opens from
+disk on an air-gapped machine and attaches to a bug report whole.
+
+The module renders only; it never runs a simulation.  The CLI wires it
+to a fresh instrumented run (``repro report``) or a cached sweep
+(``repro report --figure2``), and :func:`flows_jsonl` serialises
+TServer-side flow aggregates into the NetFlow-style JSONL that
+``repro.analysis.features.capture_records_from_flows`` reads back.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, List, Optional, Sequence
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 60em; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #16213e; padding-bottom: .3em; }
+h2 { margin-top: 1.6em; color: #16213e; }
+table { border-collapse: collapse; margin: .8em 0; }
+th, td { border: 1px solid #cbd5e1; padding: .25em .6em; text-align: left;
+         font-size: .9em; }
+th { background: #eef2f7; }
+.timeline { position: relative; border-left: 1px solid #cbd5e1; }
+.lane { position: relative; height: 1.2em; margin: 2px 0; }
+.bar { position: absolute; height: 1em; background: #4f6fa5; border-radius: 2px;
+       color: #fff; font-size: .65em; overflow: hidden; white-space: nowrap;
+       padding: 0 .3em; min-width: 2px; }
+.bar.failed { background: #b5483b; }
+.fault-marker { position: absolute; top: 0; bottom: 0; width: 2px;
+                background: #d1495b; }
+.tree ul { list-style: none; border-left: 1px dotted #94a3b8;
+           margin: 0 0 0 .6em; padding-left: .9em; }
+.tree > ul { border-left: none; margin-left: 0; padding-left: 0; }
+.tree li { margin: .15em 0; font-size: .9em; }
+.kind { font-weight: 600; color: #16213e; }
+.meta { color: #64748b; font-size: .85em; }
+.status-failed, .status-crashed, .status-timeout { color: #b5483b; }
+pre { background: #f1f5f9; padding: .8em; overflow-x: auto; font-size: .8em; }
+svg { display: block; margin: .5em 0; }
+"""
+
+#: timeline rendering cap — a flood run can end tens of thousands of
+#: spans; the report keeps the first N by start time and says so.
+MAX_TIMELINE_SPANS = 400
+
+
+def _escape(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _sparkline(values: Sequence[float], width: int = 560, height: int = 64,
+               label: str = "") -> str:
+    """Inline SVG polyline over ``values`` (empty series → empty note)."""
+    points = [float(v) for v in values]
+    if not points:
+        return "<p class='meta'>(no data)</p>"
+    peak = max(points) or 1.0
+    step = width / max(len(points) - 1, 1)
+    coords = " ".join(
+        f"{index * step:.1f},{height - (value / peak) * (height - 4):.1f}"
+        for index, value in enumerate(points)
+    )
+    title = _escape(label) if label else "series"
+    return (
+        f"<svg width='{width}' height='{height}' role='img' "
+        f"aria-label='{title}'>"
+        f"<polyline points='{coords}' fill='none' stroke='#4f6fa5' "
+        f"stroke-width='1.5'/>"
+        f"<text x='2' y='12' font-size='10' fill='#64748b'>"
+        f"{title} (peak {peak:.1f})</text>"
+        f"</svg>"
+    )
+
+
+def _summary_table(row: Dict[str, object]) -> str:
+    cells = "".join(
+        f"<tr><th>{_escape(key)}</th><td>{_escape(value)}</td></tr>"
+        for key, value in row.items()
+    )
+    return f"<table>{cells}</table>"
+
+
+def _rows_table(rows: Sequence[Dict[str, object]]) -> str:
+    if not rows:
+        return "<p class='meta'>(no rows)</p>"
+    columns = list(rows[0].keys())
+    head = "".join(f"<th>{_escape(column)}</th>" for column in columns)
+    body = "".join(
+        "<tr>" + "".join(
+            f"<td>{_escape(row.get(column, ''))}</td>" for column in columns
+        ) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _timeline(span_dicts: Sequence[dict], fault_times: Sequence[float],
+              t_end: float) -> str:
+    """Percentage-positioned span bars over ``[0, t_end]``, one lane per
+    span, fault-injection instants as red markers."""
+    if not span_dicts:
+        return "<p class='meta'>(no spans recorded — run with spans enabled)</p>"
+    horizon = max(t_end, 1e-9)
+    shown = span_dicts[:MAX_TIMELINE_SPANS]
+    lanes = []
+    for span in shown:
+        start = float(span.get("t_start", 0.0))
+        end = float(span.get("t_end") or start)
+        left = 100.0 * start / horizon
+        width = max(100.0 * (end - start) / horizon, 0.15)
+        status = str(span.get("status", "ok"))
+        failed = " failed" if status not in ("ok", "hijacked", "infected",
+                                             "sent", "leaked") else ""
+        label = f"{span.get('kind')} {span.get('entity', '')} [{status}]"
+        markers = "".join(
+            f"<div class='fault-marker' title='fault at t={t:.1f}' "
+            f"style='left:{100.0 * t / horizon:.2f}%'></div>"
+            for t in fault_times
+        )
+        lanes.append(
+            f"<div class='lane'>{markers}"
+            f"<div class='bar{failed}' style='left:{left:.2f}%;"
+            f"width:{width:.2f}%' title='{_escape(label)} "
+            f"t={start:.2f}..{end:.2f}'>{_escape(label)}</div></div>"
+        )
+    note = ""
+    if len(span_dicts) > len(shown):
+        note = (f"<p class='meta'>showing {len(shown)} of "
+                f"{len(span_dicts)} spans (earliest first)</p>")
+    return f"<div class='timeline'>{''.join(lanes)}</div>{note}"
+
+
+def _tree_html(nodes: Sequence[dict]) -> str:
+    """Nested <ul> over :meth:`SpanTracker.tree` output."""
+    if not nodes:
+        return ""
+    items = []
+    for node in nodes:
+        status = str(node.get("status", "ok"))
+        detail = []
+        for key in ("packets_delivered", "bytes_delivered", "packets_dropped"):
+            if node.get(key):
+                detail.append(f"{key.split('_')[1]} {key.split('_')[0]}"
+                              f"={node[key]}")
+        meta = f" <span class='meta'>{_escape(', '.join(detail))}</span>" if detail else ""
+        items.append(
+            f"<li><span class='kind'>{_escape(node.get('kind'))}</span> "
+            f"{_escape(node.get('entity', ''))} "
+            f"<span class='status-{_escape(status)}'>[{_escape(status)}]</span>"
+            f"{meta}{_tree_html(node.get('children', ()))}</li>"
+        )
+    return f"<ul>{''.join(items)}</ul>"
+
+
+def _dump_sections(recorder) -> str:
+    if recorder is None or not getattr(recorder, "dumps", None):
+        return "<p class='meta'>(no flight-recorder dumps — nothing crashed)</p>"
+    return "".join(
+        f"<pre>{_escape(recorder.format_dump(record))}</pre>"
+        for record in recorder.dumps
+    )
+
+
+def _page(title: str, sections: Sequence[str]) -> str:
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_escape(title)}</title><style>{_CSS}</style></head>"
+        f"<body><h1>{_escape(title)}</h1>{''.join(sections)}</body></html>"
+    )
+
+
+def render_run_report(
+    result,
+    spans=None,
+    tracer=None,
+    recorder=None,
+    title: str = "DDoSim run report",
+) -> str:
+    """One run → one self-contained HTML page.
+
+    ``result`` is the run's :class:`repro.core.results.RunResult`;
+    ``spans``/``tracer``/``recorder`` are the matching observatory parts
+    (each optional — missing layers render as a note, not an error).
+    """
+    span_dicts = spans.to_dicts() if spans is not None and spans.enabled else []
+    fault_times: List[float] = []
+    fault_rows: List[Dict[str, object]] = []
+    if tracer is not None and tracer.enabled:
+        for event in tracer.events("fault.inject"):
+            fault_times.append(event.t)
+            fault_rows.append({"t": round(event.t, 2), **event.fields})
+    t_end = max(
+        [float(result.sim_end_time)]
+        + [float(s.get("t_end") or 0.0) for s in span_dicts]
+    )
+    sections = [
+        "<h2>Summary</h2>", _summary_table(result.row()),
+        "<h2>Received rate (kbps, per second of attack)</h2>",
+        _sparkline(result.rate_series_kbps, label="received kbps"),
+        "<h2>Span timeline</h2>", _timeline(span_dicts, fault_times, t_end),
+        "<h2>Recruitment and attack tree</h2>",
+        ("<div class='tree'>" + (_tree_html(spans.tree()) or
+         "<p class='meta'>(no spans)</p>") + "</div>")
+        if spans is not None and spans.enabled
+        else "<p class='meta'>(no spans recorded)</p>",
+        "<h2>Fault injections</h2>",
+        _rows_table(fault_rows) if fault_rows
+        else "<p class='meta'>(none)</p>",
+        "<h2>Flight-recorder dumps</h2>", _dump_sections(recorder),
+    ]
+    return _page(title, sections)
+
+
+def render_sweep_report(
+    rows: Sequence[Dict[str, object]],
+    title: str = "DDoSim sweep report",
+    telemetry_summary: Optional[Dict[str, object]] = None,
+) -> str:
+    """A sweep's row dicts → one self-contained HTML page: the full
+    table plus a sparkline per numeric column (trend at a glance)."""
+    sections = ["<h2>Rows</h2>", _rows_table(rows)]
+    if rows:
+        numeric = [
+            column for column in rows[0]
+            if all(isinstance(row.get(column), (int, float)) and
+                   not isinstance(row.get(column), bool) for row in rows)
+        ]
+        if numeric:
+            sections.append("<h2>Trends</h2>")
+            for column in numeric:
+                sections.append(
+                    _sparkline([row[column] for row in rows], label=column)
+                )
+    if telemetry_summary:
+        sections.append("<h2>Sweep execution</h2>")
+        sections.append(_summary_table(telemetry_summary))
+    return _page(title, sections)
+
+
+def flows_jsonl(records: Sequence[dict]) -> str:
+    """Flow records (:meth:`repro.netsim.sink.PacketSink.flow_records`)
+    as NetFlow-style JSONL — one sorted-key JSON object per line."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True, default=str) for record in records
+    )

@@ -113,14 +113,51 @@ class EventTracer:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
-    def to_jsonl(self, names: Optional[Iterable[str]] = None) -> str:
-        """One JSON object per line, time-ordered."""
+    def eviction_summary(self) -> Optional[dict]:
+        """Self-describing truncation record, or None when nothing was
+        evicted.  ``evicted`` maps event type -> count of records the
+        ring dropped; exports lead with this so a sliced trace is never
+        mistaken for a complete one."""
+        evicted = {name: count for name, count in self.evicted.items() if count}
+        if not evicted:
+            return None
+        return {
+            "event": "trace.evictions",
+            "capacity_per_type": self.capacity_per_type,
+            "evicted": dict(sorted(evicted.items())),
+            "total_evicted": sum(evicted.values()),
+        }
+
+    def to_jsonl(
+        self,
+        names: Optional[Iterable[str]] = None,
+        since: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> str:
+        """One JSON object per line, time-ordered.
+
+        ``names`` keeps only those event types, ``since`` drops events
+        before that virtual time, ``limit`` keeps only the *newest* N
+        matching events — so a multi-gigabyte flood trace can be sliced
+        without materializing all of it downstream.  When the rings
+        themselves evicted records, the first line is a
+        ``trace.evictions`` summary making the truncation explicit.
+        """
         wanted = set(names) if names is not None else None
+        selected = [
+            event for event in self.events()
+            if (wanted is None or event.name in wanted)
+            and (since is None or event.t >= since)
+        ]
+        if limit is not None and limit >= 0:
+            selected = selected[max(0, len(selected) - limit):]
         lines = [
             json.dumps(event.to_dict(), sort_keys=True, default=str)
-            for event in self.events()
-            if wanted is None or event.name in wanted
+            for event in selected
         ]
+        summary = self.eviction_summary()
+        if summary is not None:
+            lines.insert(0, json.dumps(summary, sort_keys=True))
         return "\n".join(lines) + ("\n" if lines else "")
 
     def to_chrome_json(self, indent: Optional[int] = None) -> str:
@@ -156,10 +193,15 @@ class EventTracer:
             }
             for name, tid in tids.items()
         ]
+        other_data = {"clock": "virtual-time", "source": "repro.obs"}
+        summary = self.eviction_summary()
+        if summary is not None:
+            other_data["evicted"] = summary["evicted"]
+            other_data["total_evicted"] = summary["total_evicted"]
         document = {
             "traceEvents": metadata + trace_events,
             "displayTimeUnit": "ms",
-            "otherData": {"clock": "virtual-time", "source": "repro.obs"},
+            "otherData": other_data,
         }
         return json.dumps(document, indent=indent)
 
@@ -187,7 +229,15 @@ class NullTracer:
     def clear(self) -> None:
         pass
 
-    def to_jsonl(self, names: Optional[Iterable[str]] = None) -> str:
+    def eviction_summary(self) -> Optional[dict]:
+        return None
+
+    def to_jsonl(
+        self,
+        names: Optional[Iterable[str]] = None,
+        since: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> str:
         return ""
 
     def to_chrome_json(self, indent: Optional[int] = None) -> str:

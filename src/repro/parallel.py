@@ -31,10 +31,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SimulationConfig
 from repro.core.results import RunResult
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import SpanTracker
 
 
 def default_jobs() -> int:
@@ -78,11 +82,145 @@ def _invoke_indexed(task):
     return index, fn(item)
 
 
+def _invoke_indexed_timed(task):
+    """Like :func:`_invoke_indexed`, but also reports the point's wall
+    time so sweep telemetry can spot stragglers and project an ETA.
+    The timing rides alongside the result — it never feeds back into the
+    simulation, so determinism is untouched."""
+    index, fn, item = task
+    t0 = time.monotonic()  # simlint: disable=SIM101
+    value = fn(item)
+    elapsed = time.monotonic() - t0  # simlint: disable=SIM101
+    return index, value, elapsed
+
+
+# ----------------------------------------------------------------------
+# Sweep telemetry
+# ----------------------------------------------------------------------
+class SweepTelemetry:
+    """Live observability for one sweep: per-point worker spans, cache
+    hit/miss attribution, straggler flagging and an ETA, streamed as
+    progress lines (stderr by default).
+
+    This is *harness* telemetry — it measures the sweep machinery in
+    wall time, not the simulation, so it lives outside the determinism
+    contract: enabling ``--progress`` cannot change a single row.  Each
+    completed point becomes a span in a sweep-local :class:`SpanTracker`
+    (wall-clock offsets from :meth:`begin`), and every progress event is
+    noted into a sweep-local :class:`FlightRecorder` that dumps itself
+    when a worker dies, so a crashed sweep leaves a post-mortem of the
+    points that led up to the death.
+    """
+
+    def __init__(self, label: str = "sweep", stream=None,
+                 straggler_factor: float = 3.0):
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.straggler_factor = straggler_factor
+        self.spans = SpanTracker()
+        self.recorder = FlightRecorder()
+        self.total = 0
+        self.jobs = 1
+        self.done = 0
+        self.cached = 0
+        self.computed = 0
+        self.stragglers: List[int] = []
+        self.last_summary: Optional[dict] = None
+        self._elapsed: List[float] = []
+        self._t0 = 0.0
+
+    # -- internals ------------------------------------------------------
+    def _now(self) -> float:
+        """Seconds since :meth:`begin` (wall clock, harness-side only)."""
+        return time.monotonic() - self._t0  # simlint: disable=SIM101
+
+    def _line(self, text: str) -> None:
+        print(f"[{self.label}] {text}", file=self.stream, flush=True)
+
+    def _eta(self) -> Optional[float]:
+        remaining = self.total - self.done
+        if not self._elapsed or remaining <= 0:
+            return None
+        mean = sum(self._elapsed) / len(self._elapsed)
+        return remaining * mean / max(self.jobs, 1)
+
+    # -- lifecycle ------------------------------------------------------
+    def begin(self, total: int, jobs: int = 1) -> None:
+        self.total = total
+        self.jobs = max(jobs, 1)
+        self._t0 = time.monotonic()  # simlint: disable=SIM101
+        self.recorder.note("sweep.begin", 0.0, total=total, jobs=self.jobs)
+        self._line(f"{total} points, jobs={self.jobs}")
+
+    def point_cached(self, index: int, key: Optional[str] = None) -> None:
+        self.done += 1
+        self.cached += 1
+        t = self._now()
+        span = self.spans.start("sweep.point", t, entity=str(index),
+                                source="cache", **({"key": key} if key else {}))
+        self.spans.end(span, t)
+        self.recorder.note("sweep.cache_hit", t, index=index,
+                           **({"key": key} if key else {}))
+        suffix = f" (key {key})" if key else ""
+        self._line(f"point {index}: cache hit{suffix} "
+                   f"[{self.done}/{self.total}]")
+
+    def point_done(self, index: int, elapsed: float) -> None:
+        self.done += 1
+        self.computed += 1
+        self._elapsed.append(elapsed)
+        t = self._now()
+        span = self.spans.start("sweep.point", t - elapsed,
+                                entity=str(index), source="computed")
+        self.spans.end(span, t, elapsed=round(elapsed, 6))
+        self.recorder.note("sweep.point_done", t, index=index,
+                           elapsed=round(elapsed, 3))
+        straggler = ""
+        if len(self._elapsed) >= 3:
+            median = sorted(self._elapsed)[len(self._elapsed) // 2]
+            if median > 0 and elapsed > self.straggler_factor * median:
+                self.stragglers.append(index)
+                straggler = f" STRAGGLER ({elapsed:.1f}s vs median {median:.1f}s)"
+        eta = self._eta()
+        eta_text = f", eta {eta:.0f}s" if eta is not None else ""
+        self._line(f"point {index}: computed in {elapsed:.1f}s "
+                   f"[{self.done}/{self.total}{eta_text}]{straggler}")
+
+    def worker_died(self, error: BaseException) -> None:
+        t = self._now()
+        self.recorder.note("sweep.worker_death", t, error=repr(error))
+        dump = self.recorder.dump("sweep.worker_death", t, error=repr(error))
+        self._line(f"worker died: {error!r}")
+        if dump is not None:
+            self._line(f"flight recorder: {len(dump['notes'])} notes "
+                       f"preserved for post-mortem")
+
+    def finish(self) -> dict:
+        t = self._now()
+        summary = {
+            "total": self.total,
+            "cached": self.cached,
+            "computed": self.computed,
+            "stragglers": list(self.stragglers),
+            "wall_seconds": round(t, 3),
+        }
+        self.recorder.note("sweep.finish", t, **{
+            key: value for key, value in summary.items() if key != "stragglers"
+        })
+        straggler_text = (f", stragglers: {self.stragglers}"
+                          if self.stragglers else "")
+        self._line(f"done: {self.cached} cached + {self.computed} computed "
+                   f"of {self.total} in {t:.1f}s{straggler_text}")
+        self.last_summary = summary
+        return summary
+
+
 def run_map(
     fn,
     items: Sequence,
     jobs: int = 1,
     on_complete: Optional[Callable[[int, object], None]] = None,
+    telemetry: Optional[SweepTelemetry] = None,
 ) -> List:
     """Map a picklable ``fn`` over ``items`` through the dynamic work
     queue; results come back in input order.
@@ -91,24 +229,47 @@ def run_map(
     finishes (completion order, not input order) — the hook
     :func:`run_cached` uses to commit points incrementally.  ``jobs<=1``
     runs serially in this process (the exact seed path, input order).
+
+    ``telemetry`` (a :class:`SweepTelemetry`) receives a ``point_done``
+    per completed item with its wall time, and a ``worker_died`` (plus a
+    flight-recorder dump) if the pool iteration raises.  Purely
+    observational: results are identical with and without it.
     """
     if jobs <= 1 or len(items) <= 1:
         out = []
         for index, item in enumerate(items):
-            value = fn(item)
+            if telemetry is not None:
+                _index, value, elapsed = _invoke_indexed_timed((index, fn, item))
+                telemetry.point_done(index, elapsed)
+            else:
+                value = fn(item)
             if on_complete is not None:
                 on_complete(index, value)
             out.append(value)
         return out
     tasks = [(index, fn, item) for index, item in enumerate(items)]
     results: List = [None] * len(items)
+    invoke = _invoke_indexed if telemetry is None else _invoke_indexed_timed
     with _make_pool(min(jobs, len(items))) as pool:
         # chunksize=1 keeps every task on the shared queue until a
         # worker is actually free — self-balancing under skewed grids.
-        for index, value in pool.imap_unordered(_invoke_indexed, tasks, 1):
-            results[index] = value
-            if on_complete is not None:
-                on_complete(index, value)
+        try:
+            for completed in pool.imap_unordered(invoke, tasks, 1):
+                if telemetry is not None:
+                    index, value, elapsed = completed
+                    telemetry.point_done(index, elapsed)
+                else:
+                    index, value = completed
+                results[index] = value
+                if on_complete is not None:
+                    on_complete(index, value)
+        except Exception as exc:
+            # A worker death surfaces here (e.g. a run raising, or the
+            # pool losing a process); dump the telemetry ring so the
+            # run-up survives, then let the caller see the failure.
+            if telemetry is not None:
+                telemetry.worker_died(exc)
+            raise
     return results
 
 
@@ -145,6 +306,7 @@ def run_cached(
     configs: Sequence[SimulationConfig],
     jobs: int = 1,
     cache=None,
+    telemetry: Optional[SweepTelemetry] = None,
 ) -> List:
     """Evaluate ``point_fn`` (config -> :class:`repro.cache.CachedRun`)
     over a grid, serving cache hits instantly and committing each
@@ -162,10 +324,17 @@ def run_cached(
     4. the session's hit/miss tally is persisted for
        ``repro cache stats``.
 
-    Results come back in grid order either way.
+    Results come back in grid order either way.  ``telemetry`` streams a
+    progress line per point, attributing each to the cache (with its
+    short blob key) or to a worker's computation.
     """
+    if telemetry is not None:
+        telemetry.begin(len(configs), jobs)
     if cache is None:
-        return run_map(point_fn, configs, jobs)
+        results = run_map(point_fn, configs, jobs, telemetry=telemetry)
+        if telemetry is not None:
+            telemetry.finish()
+        return results
 
     results: List = [None] * len(configs)
     miss_indices: List[int] = []
@@ -173,6 +342,8 @@ def run_cached(
         hit = cache.get(config)
         if hit is not None:
             results[index] = hit
+            if telemetry is not None:
+                telemetry.point_cached(index, key=cache.describe(config))
         else:
             miss_indices.append(index)
 
@@ -187,9 +358,12 @@ def run_cached(
             [configs[index] for index in miss_indices],
             jobs,
             on_complete=commit,
+            telemetry=telemetry,
         )
     finally:
         cache.commit_session()
+    if telemetry is not None:
+        telemetry.finish()
     return results
 
 

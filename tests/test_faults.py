@@ -519,3 +519,35 @@ class TestFaultSweep:
         rebuilt = config_from_json(config_to_json(config))
         assert rebuilt.faults == plan
         assert rebuilt == config
+
+
+# ----------------------------------------------------------------------
+# Flight-recorder integration: injections force a post-mortem dump
+# ----------------------------------------------------------------------
+class TestFlightRecorderDump:
+    def test_injected_container_crash_dumps_recorder(self):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="crash", target="dev000", at=5.0),)
+        )
+        ddosim = DDoSim(tiny_config(faults=plan), observatory=Observatory())
+        ddosim.run()
+        dumps = ddosim.obs.recorder.dumps
+        assert dumps, "fault injection must force a flight-recorder dump"
+        crash = next(d for d in dumps if d["reason"] == "fault.crash")
+        assert crash["t"] == pytest.approx(5.0)
+        # The ring captured the run-up: container lifecycle notes plus
+        # the fault.inject landmark itself.
+        kinds = {note["kind"] for note in crash["notes"]}
+        assert "container.spawn" in kinds
+        assert "fault.inject" in kinds
+        inject = next(n for n in crash["notes"] if n["kind"] == "fault.inject")
+        assert inject["fault"] == "crash"
+        assert inject["target"] == "dev000"
+
+    def test_default_observatory_recorder_is_always_on(self):
+        ddosim = DDoSim(tiny_config(), observatory=Observatory())
+        assert ddosim.obs.recorder.enabled
+        ddosim.run()
+        # No faults, no crash: notes accumulate but nothing dumps.
+        assert ddosim.obs.recorder.noted > 0
+        assert ddosim.obs.recorder.dumps == []

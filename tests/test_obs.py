@@ -158,6 +158,47 @@ class TestEventTracer:
         assert record["t"] == 1.5
         assert record["detail"] == "hi"
 
+    def test_jsonl_filters_by_name_since_and_limit(self):
+        tracer = EventTracer()
+        for i in range(5):
+            tracer.emit("chatty", float(i))
+        tracer.emit("rare", 2.5)
+        by_name = tracer.to_jsonl(names=("rare",)).splitlines()
+        assert [json.loads(l)["event"] for l in by_name] == ["rare"]
+        since = tracer.to_jsonl(since=3.0).splitlines()
+        assert [json.loads(l)["t"] for l in since] == [3.0, 4.0]
+        # limit keeps the *newest* N matching events
+        limited = tracer.to_jsonl(names=("chatty",), limit=2).splitlines()
+        assert [json.loads(l)["t"] for l in limited] == [3.0, 4.0]
+        # a limit beyond the match count keeps everything (regression:
+        # the slice must not wrap around to a negative index)
+        assert len(tracer.to_jsonl(names=("chatty",), limit=99).splitlines()) == 5
+        combined = tracer.to_jsonl(names=("chatty",), since=1.0, limit=99)
+        assert len(combined.splitlines()) == 4
+
+    def test_jsonl_leads_with_eviction_summary_when_truncated(self):
+        tracer = EventTracer(capacity_per_type=2)
+        for i in range(5):
+            tracer.emit("chatty", float(i))
+        lines = tracer.to_jsonl().splitlines()
+        summary = json.loads(lines[0])
+        assert summary["event"] == "trace.evictions"
+        assert summary["evicted"] == {"chatty": 3}
+        assert summary["total_evicted"] == 3
+        assert len(lines) == 3  # summary + the 2 retained events
+        # An untruncated trace carries no summary line.
+        clean = EventTracer()
+        clean.emit("x", 1.0)
+        assert json.loads(clean.to_jsonl().splitlines()[0])["event"] == "x"
+        assert clean.eviction_summary() is None
+
+    def test_chrome_export_carries_eviction_counts(self):
+        tracer = EventTracer(capacity_per_type=1)
+        tracer.emit("chatty", 1.0)
+        tracer.emit("chatty", 2.0)
+        document = json.loads(tracer.to_chrome_json())
+        assert document["otherData"]["evicted"] == {"chatty": 1}
+
     def test_chrome_trace_shape(self):
         tracer = EventTracer()
         tracer.emit("queue.drop", 0.25, queue="q0")
