@@ -101,6 +101,119 @@ def test_flood_datapath_train_calendar(benchmark):
     assert events == heap_events
 
 
+def _flood_scenario(flow: str, train: int = 1, duration: float = 50.0,
+                    rate: float = 1e6):
+    """One bot flooding a sink for ``duration`` seconds at ``rate`` bps
+    through the real attack generators; returns (events, sink_bytes).
+
+    ``flow='off'`` paces per-packet/train events (the seed datapath);
+    ``'auto'``/``'all'`` run the fluid engine with packet crossover at
+    the last hop / fully analytic.
+    """
+    from repro.botnet.attacks import AttackStats, udp_plain_flood, udp_plain_flow
+    from repro.netsim.flows import FlowEngine
+    from repro.netsim.process import SimProcess
+
+    sim = Simulator()
+    star = StarInternet(sim)
+    sender = Node(sim, "sender")
+    receiver = Node(sim, "receiver")
+    star.attach_host(sender, rate, delay=0.001, queue_packets=6_000)
+    star.attach_host(receiver, 100e6, delay=0.001, queue_packets=6_000)
+    sink = PacketSink(receiver)
+    sink.start()
+    destination = star.address_of(receiver)
+    stats = AttackStats()
+    if flow == "off":
+        generator = udp_plain_flood(
+            sender, destination, 7777, duration, stats=stats, src_port=9,
+            train=train,
+        )
+    else:
+        FlowEngine(sim, mode=flow, train=max(train, 16))
+        generator = udp_plain_flow(
+            sender, destination, 7777, duration, stats=stats, src_port=9,
+        )
+    SimProcess(sim, generator, name="flood")
+    sim.run(until=duration + 5.0)
+    if sim.flows is not None:
+        sim.flows.flush()
+    return sim.events_executed, sink.total_bytes
+
+
+def test_flood_flow_datapath(benchmark):
+    """The fluid-flow flood: ISSUE 7's >=10x fewer events and >=5x
+    wall-clock targets versus the per-packet path, asserted directly
+    and recorded as ratios in the committed benchmark JSON."""
+    import time
+
+    t0 = time.perf_counter()
+    packet_events, packet_bytes = _flood_scenario("off")
+    packet_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    flow_events, flow_bytes = _flood_scenario("all")
+    flow_wall = time.perf_counter() - t0
+
+    events, nbytes = benchmark(lambda: _flood_scenario("all"))
+    assert events == flow_events
+    # Exact in expectation: analytic delivery within 1% of packet mode.
+    assert abs(nbytes - packet_bytes) <= 0.01 * packet_bytes
+    assert events * 10 <= packet_events, (
+        f"flow mode ran {events} events vs {packet_events} per-packet"
+    )
+    assert flow_wall * 5 <= packet_wall, (
+        f"flow mode took {flow_wall:.3f}s vs {packet_wall:.3f}s per-packet"
+    )
+    benchmark.extra_info["packet_events"] = packet_events
+    benchmark.extra_info["flow_events"] = events
+    benchmark.extra_info["event_reduction"] = round(packet_events / events, 1)
+    benchmark.extra_info["wall_speedup"] = round(packet_wall / flow_wall, 1)
+
+
+def test_flood_flow_crossover_auto(benchmark):
+    """Hybrid crossover: fluid upstream, real packet trains at the last
+    hop.  Still a large event cut, with byte parity to packet mode."""
+    packet_events, packet_bytes = _flood_scenario("off")
+    events, nbytes = benchmark(lambda: _flood_scenario("auto"))
+    assert abs(nbytes - packet_bytes) <= 0.01 * packet_bytes
+    assert events * 5 <= packet_events, (
+        f"auto crossover ran {events} events vs {packet_events} per-packet"
+    )
+    benchmark.extra_info["event_reduction"] = round(packet_events / events, 1)
+
+
+def test_flood_flow_vs_train_vs_packet(benchmark):
+    """The full datapath ladder on one flood: per-packet, train=8,
+    hybrid crossover, fully fluid — event counts per tier recorded so
+    BENCH_engine.json tracks the whole perf trajectory."""
+    ladder = {}
+    for label, kwargs in (
+        ("packet", dict(flow="off", train=1)),
+        ("train8", dict(flow="off", train=8)),
+        ("auto", dict(flow="auto")),
+        ("all", dict(flow="all")),
+    ):
+        events, nbytes = _flood_scenario(**kwargs)
+        ladder[label] = (events, nbytes)
+    # Strictly decreasing event counts down the ladder.
+    assert (ladder["packet"][0] > ladder["train8"][0]
+            > ladder["auto"][0] > ladder["all"][0])
+    # Byte parity within 1% across every tier.
+    reference = ladder["packet"][1]
+    for label, (_events, nbytes) in ladder.items():
+        assert abs(nbytes - reference) <= 0.01 * reference, label
+
+    events, _ = benchmark(lambda: _flood_scenario("all"))
+    for label, (tier_events, _nbytes) in ladder.items():
+        benchmark.extra_info[f"events_{label}"] = tier_events
+    benchmark.extra_info["flow_vs_packet"] = round(
+        ladder["packet"][0] / events, 1
+    )
+    benchmark.extra_info["flow_vs_train8"] = round(
+        ladder["train8"][0] / events, 1
+    )
+
+
 def test_fault_injector_zero_overhead_without_plan(benchmark):
     """Fault-injection smoke: an empty FaultPlan adds no behaviour.
 

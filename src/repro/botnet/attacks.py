@@ -138,6 +138,60 @@ def udp_plain_flood(
     return stats
 
 
+def udp_plain_flow(
+    node: Node,
+    target: Address,
+    target_port: int,
+    duration: float,
+    payload_size: int = DEFAULT_PAYLOAD_SIZE,
+    rate_bps: Optional[float] = None,
+    stats: Optional[AttackStats] = None,
+    src_port: Optional[int] = None,
+    span: Optional[str] = None,
+):
+    """Generator: the fluid-flow udpplain datapath.
+
+    Same contract as :func:`udp_plain_flood`, but instead of scheduling
+    one event per packet (or train), the whole steady flood becomes one
+    :class:`~repro.netsim.flows.FluidFlow` on the simulator's
+    :class:`~repro.netsim.flows.FlowEngine` — the generator sleeps for
+    the full duration while the engine integrates the flow analytically,
+    then closes the flow and reads its offered totals back into
+    ``stats``.  Requires an active engine (``sim.flows``).
+    """
+    from repro.netsim.process import Timeout
+
+    if stats is None:
+        stats = AttackStats()
+    engine = node.sim.flows
+    if engine is None:
+        raise RuntimeError(
+            "udp_plain_flow needs a FlowEngine (sim.flows); "
+            "use udp_plain_flood when the fluid datapath is off"
+        )
+    rate = rate_bps if rate_bps is not None else _device_rate_bps(node)
+    wire_size = payload_size + _udp_wire_overhead(target)
+    sim = node.sim
+    sport = (src_port if src_port is not None
+             else node.udp.allocate_ephemeral_port())
+    stats.started_at = sim.now
+    flow = engine.start_flow(
+        node, target, target_port, sport, rate, payload_size, wire_size,
+        span=span,
+    )
+    try:
+        yield Timeout(sim, duration)
+    finally:
+        # Runs on normal completion and on process kill (churn death):
+        # either way the flow stops at the current instant and the
+        # offered volume so far becomes the bot's emission stats.
+        engine.stop_flow(flow)
+        stats.finished_at = sim.now
+        stats.packets_sent = flow.offered_packets
+        stats.bytes_sent = flow.offered_packets * wire_size
+    return stats
+
+
 def syn_flood(
     node: Node,
     target: Address,

@@ -17,7 +17,13 @@ from typing import List
 
 from repro.binaries.binfmt import BinaryImage, register_program
 from repro.binaries.busybox import RIVAL_PROCESS_NAMES
-from repro.botnet.attacks import AttackStats, ack_flood, syn_flood, udp_plain_flood
+from repro.botnet.attacks import (
+    AttackStats,
+    ack_flood,
+    syn_flood,
+    udp_plain_flood,
+    udp_plain_flow,
+)
 
 #: attack vectors this bot build supports (Mirai ships ~10; the paper's
 #: experiment series uses udpplain)
@@ -199,6 +205,7 @@ def _dispatch(ctx, sock, line: str, attack_processes: List[SimProcess]) -> None:
         method, target_text, port_text, duration_text = arguments[:4]
         payload_size = int(arguments[4]) if len(arguments) > 4 else 512
         train = int(arguments[5]) if len(arguments) > 5 else 1
+        flow_mode = arguments[6] if len(arguments) > 6 else "off"
         vector = ATTACK_VECTORS.get(method)
         if vector is None:
             ctx.log(f"mirai: unsupported attack {method!r}")
@@ -218,7 +225,19 @@ def _dispatch(ctx, sock, line: str, attack_processes: List[SimProcess]) -> None:
                 "attack.train", ctx.sim.now, entity=address, parent=parent,
                 method=method, target=target_text, **extra,
             )
-        if method == "udpplain":
+        if method == "udpplain" and flow_mode != "off" and ctx.sim.flows is not None:
+            # Fluid datapath: the flood becomes one FluidFlow on the
+            # engine instead of per-packet/train events.
+            flood = udp_plain_flow(
+                ctx.netns.node,
+                _parse_address(target_text),
+                int(port_text),
+                float(duration_text),
+                payload_size=payload_size,
+                stats=stats,
+                span=span.span_id if span is not None else None,
+            )
+        elif method == "udpplain":
             flood = vector(
                 ctx.netns.node,
                 _parse_address(target_text),

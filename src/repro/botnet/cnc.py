@@ -277,14 +277,22 @@ class CncServer:
         payload_size: int = 512,
         method: str = "udpplain",
         train: int = 1,
+        flow: str = "off",
     ) -> AttackOrder:
         """Broadcast an attack order; returns the recorded order.
 
         ``train`` > 1 is appended as an optional sixth argument (older
-        bots that only parse five simply flood unbatched).
+        bots that only parse five simply flood unbatched).  ``flow``
+        other than "off" selects the fluid datapath and rides as a
+        seventh argument — the train slot is then always emitted so the
+        positions stay fixed; with ``flow == "off"`` the wire format
+        (and hence the simulated TCP byte stream) is exactly the
+        pre-fluid one.
         """
         line = f"ATTACK {method} {target} {port} {duration:g} {payload_size}"
-        if train > 1:
+        if flow != "off":
+            line = f"{line} {train} {flow}"
+        elif train > 1:
             line = f"{line} {train}"
         sent = self.broadcast(line)
         if self._sim is not None:

@@ -69,6 +69,12 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--train", type=int, default=1,
                         help="flood packet-train size (1 = exact "
                              "per-packet datapath)")
+    parser.add_argument("--flow", choices=("off", "auto", "all"),
+                        default="off",
+                        help="fluid-flow crossover: off = exact packet "
+                             "path, auto = fluid upstream with packet-"
+                             "exact bottleneck/sink, all = fully "
+                             "analytic flood")
     parser.add_argument("--faults",
                         help="JSON fault plan to arm against the run "
                              "(see repro.faults.FaultPlan)")
@@ -89,6 +95,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
             sim_duration=max(600.0, args.duration + 150.0),
             scheduler=args.scheduler,
             flood_train=args.train,
+            flood_flow=args.flow,
         )
     if getattr(args, "faults", None):
         from dataclasses import replace
@@ -273,8 +280,10 @@ def cmd_figure2(args: argparse.Namespace) -> int:
     from repro.core.experiment import FIGURE2_CHURN, run_figure2
 
     devs_grid = tuple(args.grid) if args.grid else (10, 50, 100, 150)
+    flow = getattr(args, "flow", "off")
+    base = SimulationConfig(flood_flow=flow) if flow != "off" else None
     rows = run_figure2(devs_grid=devs_grid, churn_modes=FIGURE2_CHURN,
-                       seed=args.seed, jobs=args.jobs,
+                       seed=args.seed, base_config=base, jobs=args.jobs,
                        cache=_cache_from_args(args),
                        telemetry=_telemetry_from_args(args, "figure2"))
     _emit_rows(rows, args)
@@ -286,7 +295,8 @@ def cmd_figure3(args: argparse.Namespace) -> int:
     from repro.core.experiment import run_figure3
 
     devs_grid = tuple(args.grid) if args.grid else (50, 100)
-    base = SimulationConfig(n_devs=1, attack_payload_size=1400)
+    base = SimulationConfig(n_devs=1, attack_payload_size=1400,
+                            flood_flow=getattr(args, "flow", "off"))
     rows = run_figure3(devs_grid=devs_grid, seed=args.seed, base_config=base,
                        jobs=args.jobs, cache=_cache_from_args(args),
                        telemetry=_telemetry_from_args(args, "figure3"))
@@ -399,6 +409,7 @@ def cmd_verify_determinism(args: argparse.Namespace) -> int:
         devs_grid=tuple(args.grid) if args.grid else (2, 4),
         seed=args.seed,
         jobs=args.jobs,
+        flow=args.flow,
     )
     if args.format == "json":
         print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -513,6 +524,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "attribution, ETA, stragglers)")
         _add_cache_args(sub)
         _add_output_args(sub)
+        if name in ("figure2", "figure3"):
+            sub.add_argument("--flow", choices=("off", "auto", "all"),
+                             default="off",
+                             help="flood datapath: off = per-packet "
+                                  "(bit-identical seed path), auto = "
+                                  "fluid with packet crossover at the "
+                                  "bottleneck, all = fully analytic")
         sub.set_defaults(func=func)
 
     faultsweep_parser = commands.add_parser(
@@ -591,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--jobs", type=int, default=4,
                                help="parallel worker count for the "
                                     "jobs-parity check")
+    verify_parser.add_argument("--flow", choices=("off", "auto", "all"),
+                               default="off",
+                               help="run the gate with the fluid-flow "
+                                    "datapath in the checked config")
     verify_parser.add_argument("--format", choices=("text", "json"),
                                default="text")
     verify_parser.set_defaults(func=cmd_verify_determinism)

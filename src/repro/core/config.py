@@ -123,6 +123,10 @@ class SimulationConfig:
     #: flood packet-train size: each bot wakeup emits this many packets
     #: as one scheduled unit (1 = exact per-packet seed behaviour)
     flood_train: int = 1
+    #: fluid-flow crossover: "off" (exact packet/train datapath), "auto"
+    #: (fluid upstream, packet-exact at the bottleneck/sink last hop) or
+    #: "all" (fully analytic flood, zero per-packet events)
+    flood_flow: str = "off"
 
     def __post_init__(self) -> None:
         if self.n_devs <= 0:
@@ -171,6 +175,12 @@ class SimulationConfig:
             )
         if self.flood_train < 1:
             raise ValueError("flood_train must be >= 1")
+        from repro.netsim.flows import FLOW_MODES
+
+        if self.flood_flow not in FLOW_MODES:
+            raise ValueError(
+                f"flood_flow must be one of {FLOW_MODES}, got {self.flood_flow!r}"
+            )
 
     @property
     def mean_dev_rate_bps(self) -> float:

@@ -118,6 +118,17 @@ class DDoSim:
 
             self.fault_injector = FaultInjector(self, config.faults, config.seed)
 
+        # Fluid-flow engine (None on the exact packet path: sim.flows
+        # stays unset and every flow hook short-circuits).
+        self.flow_engine = None
+        if config.flood_flow != "off":
+            from repro.netsim.flows import FlowEngine
+
+            self.flow_engine = FlowEngine(
+                self.sim, mode=config.flood_flow,
+                train=max(config.flood_train, 1),
+            )
+
         # Filled in during run().
         self._pre_attack_container_bytes = 0
         self._attack_issued_at: Optional[float] = None
@@ -243,6 +254,7 @@ class DDoSim:
             config.attack_duration,
             config.attack_payload_size,
             train=config.flood_train,
+            flow=config.flood_flow,
         )
         self._attack_issued_at = order.issued_at
         yield Timeout(self.sim, config.attack_duration + config.cooldown)
@@ -260,6 +272,10 @@ class DDoSim:
         config = self.config
         cnc = self.attacker.cnc
         sink = self.tserver.sink
+        if self.flow_engine is not None:
+            # Settle any open constant-rate segment through sim.now so
+            # fluid accounting is complete before results are read.
+            self.flow_engine.flush()
         issued_at = self._attack_issued_at if self._attack_issued_at is not None else self.sim.now
         attack_end = issued_at + config.attack_duration
 

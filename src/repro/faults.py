@@ -356,6 +356,11 @@ class FaultInjector:
     def _record(self, spec: FaultSpec, name: str, action: str) -> None:
         sim = self.ddosim.sim
         self.log.append(FaultEvent(sim.now, spec.kind, name, action))
+        # Any fault event is a rate-change epoch for the fluid datapath:
+        # close the pre-fault segment before the mutation lands (the
+        # device/channel hooks re-solve again after it).
+        if sim.flows is not None:
+            sim.flows.relinearize()
         obs = sim.obs
         if action == "inject":
             self.injected += 1

@@ -95,11 +95,36 @@ class PointToPointChannel(Channel):
                 self._rng = rng
             if loss_rate > 0.0 and self._rng is None:
                 raise ValueError("loss override on a channel with no RNG")
+        self._notify_flows()
 
     def clear_overrides(self) -> None:
         self.delay = self._base_delay
         self.loss_rate = self._base_loss_rate
         self._rng = self._base_rng
+        self._notify_flows()
+
+    def _notify_flows(self) -> None:
+        """Medium parameters changed: re-linearize any fluid flows."""
+        flows = self.sim.flows
+        if flows is not None:
+            flows.on_link_change()
+
+    def fluid_carry(self, count: int, nbytes: int, lost: int = 0) -> None:
+        """Account analytically-carried flow packets (no scheduling).
+
+        The fluid datapath computes carried/lost volumes in closed form;
+        this feeds the same per-channel counters and metrics the packet
+        path's :meth:`transmit` maintains.  Random loss becomes an exact
+        fraction — no RNG draws are consumed, keeping the stream
+        identical for any co-existing packet traffic.
+        """
+        if lost > 0:
+            self.packets_lost += lost
+            self._loss_packets.inc(lost)
+        if count > 0:
+            self.packets_carried += count
+            self._tx_packets.inc(count)
+            self._tx_bytes.inc(nbytes)
 
     def peer_of(self, device: "NetDevice") -> Optional["NetDevice"]:
         """The device at the other end of the link, if both are attached."""

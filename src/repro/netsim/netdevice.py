@@ -62,27 +62,38 @@ class NetDevice:
         if self.node is not None:
             self.node.ip.receive(packet, self)
 
+    def _notify_flows(self) -> None:
+        """Link state changed: let the fluid-flow engine (if any) close
+        the current constant-rate segment and re-solve."""
+        flows = self.sim.flows
+        if flows is not None:
+            flows.on_link_change()
+
     def set_down(self) -> None:
         """Take the device offline (churn departure)."""
         self._oper_up = False
         self.up = False
+        self._notify_flows()
 
     def set_up(self) -> None:
         """Bring the device back online (churn rejoin)."""
         self._oper_up = True
         if self.admin_up:
             self.up = True
+        self._notify_flows()
 
     def set_admin_down(self) -> None:
         """Fault injection: administratively disable the device."""
         self.admin_up = False
         self.up = False
+        self._notify_flows()
 
     def set_admin_up(self) -> None:
         """Clear an administrative fault; churn state still applies."""
         self.admin_up = True
         if self._oper_up:
             self.up = True
+        self._notify_flows()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         owner = self.node.name if self.node is not None else "?"
@@ -164,6 +175,8 @@ class PointToPointDevice(NetDevice):
         if data_rate_bps <= 0:
             raise ValueError("data rate must be positive")
         self.data_rate_bps = data_rate_bps
+        self._notify_flows()
 
     def clear_data_rate_override(self) -> None:
         self.data_rate_bps = self._base_data_rate_bps
+        self._notify_flows()

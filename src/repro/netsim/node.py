@@ -28,6 +28,9 @@ class Node:
         self.devices: List[NetDevice] = []
         self.ip = IpStack(self)
         self.applications: list = []
+        #: fluid-delivery endpoint (a started PacketSink registers itself
+        #: here so the flow engine can credit analytic arrivals)
+        self.fluid_sink = None
 
     def add_device(self, device: NetDevice) -> NetDevice:
         """Attach a net device to this node."""

@@ -125,6 +125,36 @@ class DropTailQueue:
         self.bytes_queued = 0
         return lost
 
+    def fluid_drop(self, count: int, size: int, reason: str,
+                   span=None) -> None:
+        """Account ``count`` analytically-dropped flow packets.
+
+        The fluid datapath (:mod:`repro.netsim.flows`) computes drop
+        fractions in closed form; this routes the quantized result into
+        the same counters, span attribution and trace stream the packet
+        path's :meth:`_record_drop` feeds, so ``queue_drops_total`` and
+        causal drop accounting stay exact in expectation.
+        """
+        if count <= 0:
+            return
+        self.dropped += count
+        self._drop_counter.inc(count)
+        if span is not None:
+            self._spans.drop(span, count)
+        if self._tracer.enabled and self._sim is not None:
+            if span is not None:
+                self._tracer.emit(
+                    "queue.drop", self._sim.now,
+                    queue=self.name, reason=reason, size=size,
+                    lost=count, depth=self.packets_queued, span=span,
+                )
+            else:
+                self._tracer.emit(
+                    "queue.drop", self._sim.now,
+                    queue=self.name, reason=reason, size=size,
+                    lost=count, depth=self.packets_queued,
+                )
+
     def _record_drop(self, packet: Packet, reason: str, count: int = 1) -> None:
         self.dropped += count
         self._drop_counter.inc(count)

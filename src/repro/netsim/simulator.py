@@ -120,6 +120,9 @@ class Simulator:
         #: observability hub (registry + tracer + profiler); the default
         #: null observatory keeps run() on the uninstrumented fast loop.
         self.obs = NULL_OBSERVATORY
+        #: fluid-flow engine (repro.netsim.flows.FlowEngine) when the
+        #: hybrid datapath is active; None keeps the packet path exact.
+        self.flows = None
 
     # ------------------------------------------------------------------
     # Observability

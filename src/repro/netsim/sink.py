@@ -39,13 +39,25 @@ class PacketSink(Application):
         self.first_packet_time: Optional[float] = None
         self.last_packet_time: Optional[float] = None
         self._spans = NULL_SPANS
+        #: per-FluidFlow quantization state: [byte_remainder, packet_remainder]
+        self._fluid: Dict[object, list] = {}
 
     def _do_start(self) -> None:
         self._spans = self.sim.obs.spans
         self.node.udp.set_default_handler(self._on_datagram)
+        # Fluid datapath endpoint: analytic flow arrivals are credited
+        # here; sink availability is a rate-change epoch for the solver.
+        self.node.fluid_sink = self
+        flows = self.sim.flows
+        if flows is not None:
+            flows.on_link_change()
 
     def _do_stop(self) -> None:
         self.node.udp.set_default_handler(None)
+        self.node.fluid_sink = None
+        flows = self.sim.flows
+        if flows is not None:
+            flows.on_link_change()
 
     def _on_datagram(self, packet, udp_header, ip_header) -> None:
         # Wire size as seen by the node: payload + UDP + IP headers
@@ -98,6 +110,90 @@ class PacketSink(Application):
         span = packet.span
         if span is not None:
             self._spans.deliver(span, count, size * count)
+
+    # ------------------------------------------------------------------
+    # Fluid datapath
+    # ------------------------------------------------------------------
+    def account_fluid(self, flow, nbytes: float, start: float, end: float) -> int:
+        """Credit ``nbytes`` of a :class:`~repro.netsim.flows.FluidFlow`
+        arriving uniformly over ``[start, end)``.
+
+        Integrates the flow's byte-rate into the same per-second
+        ``bytes_per_bin`` histogram, packet/byte totals, ``per_source``
+        and NetFlow ``flows`` records the packet path fills.  Bins get
+        integer bytes; fractional remainders persist per flow (in
+        ``_fluid``) so totals are exact in expectation with zero drift.
+        Returns the integer bytes credited by this call.
+        """
+        if nbytes <= 0.0:
+            return 0
+        state = self._fluid.get(flow)
+        if state is None:
+            state = self._fluid[flow] = [0.0, 0.0]
+        width = self.bin_width
+        bins = self.bytes_per_bin
+        credited = 0
+        if end <= start:
+            # Instantaneous credit (residual backlog flush at flow stop).
+            state[0] += nbytes
+            whole = int(state[0])
+            if whole:
+                state[0] -= whole
+                bins[int(start / width)] += whole
+                credited = whole
+        else:
+            rate = nbytes / (end - start)
+            t = start
+            while t < end:
+                bin_index = int(t / width)
+                seg_end = (bin_index + 1) * width
+                if seg_end > end:
+                    seg_end = end
+                state[0] += rate * (seg_end - t)
+                whole = int(state[0])
+                if whole:
+                    state[0] -= whole
+                    bins[bin_index] += whole
+                    credited += whole
+                t = seg_end
+        if credited == 0:
+            return 0
+        size = flow.packet_size
+        state[1] += credited / size
+        packets = int(state[1])
+        if packets:
+            state[1] -= packets
+        self.total_packets += packets
+        self.total_bytes += credited
+        if self.first_packet_time is None or start < self.first_packet_time:
+            self.first_packet_time = start
+        if self.last_packet_time is None or end > self.last_packet_time:
+            self.last_packet_time = end
+        key = (flow.src_address, flow.src_port)
+        entry = self.per_source.get(key)
+        if entry is None:
+            self.per_source[key] = [packets, credited]
+        else:
+            entry[0] += packets
+            entry[1] += credited
+        flow_key = (flow.src_address, flow.src_port, flow.dst_port)
+        record = self.flows.get(flow_key)
+        if record is None:
+            self.flows[flow_key] = {
+                "dst": flow.dst_address,
+                "packets": packets,
+                "bytes": credited,
+                "t_first": start,
+                "t_last": end,
+                "span": flow.span,
+            }
+        else:
+            record["packets"] += packets
+            record["bytes"] += credited
+            record["t_last"] = end
+        if flow.span is not None:
+            self._spans.deliver(flow.span, packets, credited)
+        return credited
 
     # ------------------------------------------------------------------
     # Analysis helpers
@@ -163,3 +259,4 @@ class PacketSink(Application):
         self.flows.clear()
         self.first_packet_time = None
         self.last_packet_time = None
+        self._fluid.clear()

@@ -181,14 +181,17 @@ def verify_jobs(
     devs_grid: Sequence[int] = (2, 4),
     seed: int = 1,
     jobs: int = 4,
+    base_config=None,
 ) -> CheckResult:
     """figure2 sweep rows at ``jobs=1`` vs ``jobs=N`` must match bytes."""
     from repro.core.experiment import FIGURE2_CHURN, run_figure2
 
     serial = run_figure2(devs_grid=tuple(devs_grid),
-                         churn_modes=FIGURE2_CHURN, seed=seed, jobs=1)
+                         churn_modes=FIGURE2_CHURN, seed=seed, jobs=1,
+                         base_config=base_config)
     parallel = run_figure2(devs_grid=tuple(devs_grid),
-                           churn_modes=FIGURE2_CHURN, seed=seed, jobs=jobs)
+                           churn_modes=FIGURE2_CHURN, seed=seed, jobs=jobs,
+                           base_config=base_config)
     serial_rows = [json.dumps(row, sort_keys=True) for row in serial]
     parallel_rows = [json.dumps(row, sort_keys=True) for row in parallel]
     divergence = first_divergence(serial_rows, parallel_rows)
@@ -208,13 +211,27 @@ def verify_determinism(
     devs_grid: Sequence[int] = (2, 4),
     seed: int = 1,
     jobs: int = 4,
+    flow: str = "off",
 ) -> DeterminismReport:
-    """The full gate: double-run trace identity + jobs row identity."""
+    """The full gate: double-run trace identity + jobs row identity.
+
+    ``flow`` puts the fluid-flow datapath under the same contract: the
+    checked config (and the sweep's base config) run with that crossover
+    mode, so ``verify-determinism --flow all`` proves the analytic
+    solver is as bit-stable as the packet path.
+    """
+    base_config = None
     if config is None:
         from repro.core.config import SimulationConfig
 
-        config = SimulationConfig(n_devs=max(devs_grid), seed=seed)
+        config = SimulationConfig(n_devs=max(devs_grid), seed=seed,
+                                  flood_flow=flow)
+    if flow != "off":
+        from repro.core.config import SimulationConfig
+
+        base_config = SimulationConfig(flood_flow=flow)
     report = DeterminismReport()
     report.checks.append(verify_double_run(config))
-    report.checks.append(verify_jobs(devs_grid=devs_grid, seed=seed, jobs=jobs))
+    report.checks.append(verify_jobs(devs_grid=devs_grid, seed=seed, jobs=jobs,
+                                     base_config=base_config))
     return report

@@ -114,6 +114,58 @@ class TestFlowsRoundTrip:
         assert keys == sorted(keys)
 
 
+@pytest.fixture(scope="module")
+def fluid_reported_run():
+    """The same tiny scenario on the fully-fluid datapath."""
+    config = SimulationConfig(
+        n_devs=2, seed=1, attack_duration=10.0, recruit_timeout=30.0,
+        sim_duration=120.0, protection_profiles=((),), flood_flow="all",
+    )
+    ddosim = DDoSim(config, observatory=Observatory.full())
+    result = ddosim.run()
+    return ddosim, result
+
+
+class TestFluidFlowReport:
+    """Flow-mode runs feed the same report surfaces: rate sparkline,
+    NetFlow JSONL, and the analysis.features round trip."""
+
+    def test_run_report_renders_rate_sparkline(self, fluid_reported_run):
+        ddosim, result = fluid_reported_run
+        assert any(result.rate_series_kbps), \
+            "fluid delivery must fill the received-rate series"
+        html = render_run_report(
+            result,
+            spans=ddosim.obs.spans,
+            tracer=ddosim.obs.tracer,
+            recorder=ddosim.obs.recorder,
+        )
+        assert_self_contained(html)
+        assert "<svg" in html
+
+    def test_flows_jsonl_round_trips_through_features(self, fluid_reported_run):
+        ddosim, result = fluid_reported_run
+        flows = ddosim.tserver.sink.flow_records()
+        assert flows, "fluid attack must leave flow records at the sink"
+        text = flows_jsonl(flows)
+        parsed = [json.loads(line) for line in text.splitlines()]
+        assert parsed == json.loads(json.dumps(flows))
+
+        records = capture_records_from_flows(parsed)
+        assert len(records) == sum(flow["packets"] for flow in flows)
+        X, y = windows_from_capture(
+            records,
+            start=0.0,
+            end=result.sim_end_time,
+            window=5.0,
+            attack_interval=(result.attack.issued_at,
+                             result.attack.issued_at + 10.0),
+        )
+        assert X.shape[0] == len(y) > 0
+        assert y.max() == 1
+        assert X[y == 1, 0].max() > X[y == 0, 0].max()
+
+
 def _slow_square(value):
     return value * value
 

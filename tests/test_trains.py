@@ -7,6 +7,7 @@ K=1 the datapath is bit-identical to the per-packet seed behaviour.
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.netsim.address import Ipv6Address
 from repro.netsim.channel import PointToPointChannel
@@ -252,3 +253,78 @@ class TestFloodGeneratorTrains:
         assert sent_lines == ["ATTACK udpplain fd00::1 7777 30 512 16"]
         cnc.issue_attack("fd00::1", 7777, 30.0, 512)
         assert sent_lines[-1] == "ATTACK udpplain fd00::1 7777 30 512"
+
+    def test_attack_order_flow_token_rides_after_train(self):
+        """flow != off always pins the train slot so positions are fixed;
+        flow == off keeps the exact pre-fluid wire format."""
+        from repro.botnet.cnc import CncServer
+
+        cnc = CncServer.__new__(CncServer)
+        cnc.attack_orders = []
+        cnc.standing_orders = []
+        cnc._sim = None
+        sent_lines = []
+        cnc.broadcast = sent_lines.append  # type: ignore[assignment]
+        cnc.issue_attack("fd00::1", 7777, 30.0, 512, flow="all")
+        assert sent_lines[-1] == "ATTACK udpplain fd00::1 7777 30 512 1 all"
+        cnc.issue_attack("fd00::1", 7777, 30.0, 512, train=8, flow="auto")
+        assert sent_lines[-1] == "ATTACK udpplain fd00::1 7777 30 512 8 auto"
+        cnc.issue_attack("fd00::1", 7777, 30.0, 512, train=8, flow="off")
+        assert sent_lines[-1] == "ATTACK udpplain fd00::1 7777 30 512 8"
+
+
+class TestTrainBinReconstructionProperty:
+    """Satellite: a K-train's ``bytes_per_bin`` equals K=1 packets
+    bit-for-bit, including at bin boundaries.
+
+    The sink reconstructs each member's arrival from the train's stamped
+    serialization spacing; this drives the reconstruction across
+    arbitrary (K, payload, bin width) combinations — narrow bins force
+    trains to straddle boundaries — and demands exact dict equality.
+    """
+
+    @staticmethod
+    def _bins(train: int, payload: int, bin_width: float, packets: int):
+        sim = Simulator()
+        sender = Node(sim, "sender")
+        receiver = Node(sim, "receiver")
+        channel = PointToPointChannel(sim, delay=0.002)
+        dev_s = PointToPointDevice(sim, 1e6, DropTailQueue(1024), name="s")
+        dev_r = PointToPointDevice(sim, 1e6, DropTailQueue(1024), name="r")
+        sender.add_device(dev_s)
+        receiver.add_device(dev_r)
+        channel.attach(dev_s)
+        channel.attach(dev_r)
+        src = Ipv6Address.parse("fd00::1")
+        destination = Ipv6Address.parse("fd00::2")
+        sender.ip.add_address(dev_s, src)
+        receiver.ip.add_address(dev_r, destination)
+        sender.ip.add_route(destination, dev_s)
+        sink = PacketSink(receiver, bin_width=bin_width)
+        sink.start()
+        if train == 1:
+            for _ in range(packets):
+                sender.udp.send_datagram(
+                    None, destination, 7777, src_port=9, payload_size=payload
+                )
+        else:
+            for _ in range(packets // train):
+                sender.udp.send_train(
+                    destination, 7777, train, src_port=9, payload_size=payload
+                )
+        sim.run()
+        assert sink.total_packets == packets
+        return dict(sink.bytes_per_bin)
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=64, max_value=1024),
+        st.sampled_from([0.01, 0.025, 0.1, 1.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_train_bins_equal_per_packet_bins_bit_for_bit(
+        self, train, payload, bin_width
+    ):
+        packets = train * 6
+        assert self._bins(train, payload, bin_width, packets) == \
+            self._bins(1, payload, bin_width, packets)
