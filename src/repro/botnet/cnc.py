@@ -205,6 +205,32 @@ class CncServer:
     # ------------------------------------------------------------------
     # Command fan-out
     # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Deterministic registry/command state for checkpoint
+        fingerprints (bot IDs are instance-local and reproducible)."""
+        return {
+            "registrations": self.total_registrations,
+            "seen": sorted(str(address) for address in self.seen_addresses),
+            "registration_times": list(self.registration_times),
+            "first": self.first_registration_time,
+            "last": self.last_registration_time,
+            "bots": [
+                [bot_id, str(record.address), record.architecture,
+                 record.connected_at, record.last_seen,
+                 record.commands_sent, record.alive]
+                for bot_id, record in sorted(self.bots.items())
+            ],
+            "orders": [
+                [order.method, order.target, order.port, order.duration,
+                 order.payload_size, order.issued_at, order.bots_commanded]
+                for order in self.attack_orders
+            ],
+            "standing": list(self.standing_orders),
+            "waiters": sorted(
+                threshold for threshold, _future in self._bot_count_waiters
+            ),
+        }
+
     def connected_bots(self) -> List[BotRecord]:
         return [record for record in self.bots.values() if record.alive]
 

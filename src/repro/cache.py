@@ -342,9 +342,19 @@ class RunCache:
         fd, temp_path = tempfile.mkstemp(
             prefix=".tmp-", suffix=".json", dir=self.root
         )
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(stats, handle, indent=2, sort_keys=True)
-        os.replace(temp_path, self._stats_path)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(stats, handle, indent=2, sort_keys=True)
+            os.replace(temp_path, self._stats_path)
+        except BaseException:
+            # Same guard as put(): a ^C mid-write must not leave a
+            # stray temp file behind, and stats.json keeps its last
+            # complete contents (rename never happened).
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
         # The folded-in counts must not double when persisted again.
         self.session_hits = self.session_misses = self.session_stores = 0
 

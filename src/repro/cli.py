@@ -16,6 +16,9 @@ Commands:
   timeline, attack tree, sparklines, flight-recorder dumps) or of the
   cached Figure 2 sweep; ``--flows`` adds a NetFlow-style JSONL export.
 * ``cache``       — run-cache maintenance: ``stats``, ``clear``, ``gc``.
+* ``chaos``       — crash-recovery proof: run a scenario straight, then
+  SIGKILL an identical run right after a seeded checkpoint, resume it,
+  and require byte-identical results.
 * ``lint``        — determinism linter (``repro.simlint``): SIM1xx rules
   over sim code; nonzero exit on violations (the CI gate).
 * ``verify-determinism`` — execute the determinism contract: one config
@@ -28,10 +31,17 @@ the rows, and caches finished grid points under ``--cache-dir``
 points — ``--no-cache`` forces every point to simulate.  ``run``
 accepts ``--config PATH`` to load a JSON config
 and ``--faults PATH`` to arm a :mod:`repro.faults` plan against it.
-``run`` also accepts ``--trace-out`` / ``--metrics-out``, which enable
-full instrumentation for that run and write a Chrome ``trace_event``
-file (load it at ``chrome://tracing`` or https://ui.perfetto.dev) and a
-metrics-registry snapshot.
+``run`` also accepts ``--trace-out`` (full instrumentation + Chrome
+``trace_event`` file — load it at ``chrome://tracing`` or
+https://ui.perfetto.dev) and ``--metrics-out`` (metrics-registry
+snapshot; metrics-only instrumentation so the snapshot stays
+byte-comparable across runs), plus ``--checkpoint-every N`` /
+``--checkpoint-dir`` to write resumable state checkpoints and
+``--resume-from PATH`` to continue a killed run from its last
+checkpoint (byte-identical to the uninterrupted run; see
+``repro.checkpoint``).  Sweeps accept ``--point-timeout`` /
+``--retries`` to arm supervised execution: hung or crashed grid points
+are retried with backoff and quarantined instead of killing the sweep.
 """
 
 from __future__ import annotations
@@ -123,6 +133,17 @@ def _add_output_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", help="write rows as JSON to this path")
 
 
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--point-timeout", type=float, metavar="S",
+                        help="wall-clock seconds one grid point may run "
+                             "before its worker is killed and the point "
+                             "retried with backoff; exhausted points are "
+                             "quarantined and the sweep completes")
+    parser.add_argument("--retries", type=int, metavar="N",
+                        help="retry budget per grid point for timeouts, "
+                             "hangs, and worker deaths (default: 1)")
+
+
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     from repro.cache import DEFAULT_CACHE_DIR
 
@@ -147,13 +168,32 @@ def _cache_from_args(args: argparse.Namespace):
 
 
 def _telemetry_from_args(args: argparse.Namespace, label: str):
-    """A live :class:`repro.parallel.SweepTelemetry` under
-    ``--progress``, else ``None`` (silent sweep)."""
-    if not getattr(args, "progress", False):
-        return None
+    """The sweep's :class:`repro.parallel.SweepTelemetry` — chatty under
+    ``--progress``, quiet otherwise.  Always constructed, so every sweep
+    parent carries a flight recorder that dumps a post-mortem on worker
+    death, quarantine, or interruption (^C / SIGTERM)."""
     from repro.parallel import SweepTelemetry
 
-    return SweepTelemetry(label=label)
+    return SweepTelemetry(label=label,
+                          quiet=not getattr(args, "progress", False))
+
+
+def _supervision_from_args(args: argparse.Namespace):
+    """A :class:`repro.parallel.Supervision` built from ``--point-timeout``
+    / ``--retries``, or ``None`` for the default policy (retry once on
+    worker death, no timeout)."""
+    timeout = getattr(args, "point_timeout", None)
+    retries = getattr(args, "retries", None)
+    if timeout is None and retries is None:
+        return None
+    from repro.parallel import Supervision
+
+    kwargs = {}
+    if timeout is not None:
+        kwargs["point_timeout"] = timeout
+    if retries is not None:
+        kwargs["retries"] = retries
+    return Supervision(**kwargs)
 
 
 def _check_writable(*paths: Optional[str]) -> None:
@@ -164,17 +204,74 @@ def _check_writable(*paths: Optional[str]) -> None:
                 pass
 
 
+def _dump_interrupt(ddosim) -> None:
+    """^C / SIGTERM post-mortem: force the run's always-on flight
+    recorder out to stderr so an interrupted run leaves a trail."""
+    try:
+        recorder = ddosim.obs.recorder
+        record = recorder.dump("run.interrupted", ddosim.sim.now)
+        if record is not None:
+            print(recorder.format_dump(record), file=sys.stderr)
+    except Exception:  # the post-mortem must never mask the interrupt
+        pass
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    """Run one simulation with the flag-built (or file-loaded) config."""
+    """Run one simulation with the flag-built (or file-loaded) config,
+    optionally checkpointing it or resuming a killed run."""
     from repro.obs import Observatory
 
-    config = _config_from_args(args)
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     _check_writable(trace_out, metrics_out)
-    observatory = Observatory.full() if (trace_out or metrics_out) else None
-    ddosim = DDoSim(config, observatory=observatory)
-    result = ddosim.run()
+    # Full instrumentation only for the Chrome trace: the profiler's
+    # wall-clock gauges would make a --metrics-out snapshot differ
+    # between two runs of the same config, and checkpoint/resume
+    # equivalence (repro chaos) compares those snapshots byte-for-byte.
+    if trace_out:
+        observatory = Observatory.full()
+    elif metrics_out:
+        observatory = Observatory()
+    else:
+        observatory = None
+
+    resume_from = getattr(args, "resume_from", None)
+    checkpoint_every = getattr(args, "checkpoint_every", None)
+    ddosim = None
+    try:
+        if resume_from:
+            from repro.checkpoint import resume_run
+
+            resumed = resume_run(resume_from, observatory=observatory)
+            ddosim, result = resumed.ddosim, resumed.result
+            anchor = resumed.checkpoint
+            print(
+                f"resumed from checkpoint tick {anchor['tick']} "
+                f"(t={anchor['t']:g}): replay verified "
+                f"{len(resumed.writer.verified)} barrier(s)",
+                file=sys.stderr,
+            )
+        else:
+            config = _config_from_args(args)
+            ddosim = DDoSim(config, observatory=observatory)
+            if checkpoint_every:
+                from repro.checkpoint import (
+                    DEFAULT_CHECKPOINT_DIR,
+                    CheckpointWriter,
+                )
+
+                writer = CheckpointWriter(
+                    getattr(args, "checkpoint_dir", None)
+                    or DEFAULT_CHECKPOINT_DIR,
+                    checkpoint_every,
+                    kill_after=getattr(args, "kill_after_checkpoint", None),
+                )
+                writer.arm(ddosim)
+            result = ddosim.run()
+    except KeyboardInterrupt:
+        if ddosim is not None:
+            _dump_interrupt(ddosim)
+        return 130
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result_to_json(result))
@@ -249,7 +346,8 @@ def cmd_report(args: argparse.Namespace) -> int:
                            cache=_cache_from_args(args), telemetry=telemetry)
         html = render_sweep_report(
             rows, title=f"Figure 2 sweep (seed {args.seed})",
-            telemetry_summary=telemetry.last_summary if telemetry else None,
+            telemetry_summary=(telemetry.last_summary
+                               if getattr(args, "progress", False) else None),
         )
         if flows_out:
             print("note: --flows applies to single-run reports only",
@@ -285,7 +383,8 @@ def cmd_figure2(args: argparse.Namespace) -> int:
     rows = run_figure2(devs_grid=devs_grid, churn_modes=FIGURE2_CHURN,
                        seed=args.seed, base_config=base, jobs=args.jobs,
                        cache=_cache_from_args(args),
-                       telemetry=_telemetry_from_args(args, "figure2"))
+                       telemetry=_telemetry_from_args(args, "figure2"),
+                       supervision=_supervision_from_args(args))
     _emit_rows(rows, args)
     return 0
 
@@ -299,7 +398,8 @@ def cmd_figure3(args: argparse.Namespace) -> int:
                             flood_flow=getattr(args, "flow", "off"))
     rows = run_figure3(devs_grid=devs_grid, seed=args.seed, base_config=base,
                        jobs=args.jobs, cache=_cache_from_args(args),
-                       telemetry=_telemetry_from_args(args, "figure3"))
+                       telemetry=_telemetry_from_args(args, "figure3"),
+                       supervision=_supervision_from_args(args))
     _emit_rows(rows, args)
     return 0
 
@@ -311,7 +411,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
     devs_grid = tuple(args.grid) if args.grid else TABLE1_DEVS
     rows = run_table1(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs,
                       cache=_cache_from_args(args),
-                      telemetry=_telemetry_from_args(args, "table1"))
+                      telemetry=_telemetry_from_args(args, "table1"),
+                      supervision=_supervision_from_args(args))
     _emit_rows(rows, args)
     return 0
 
@@ -323,7 +424,8 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     devs_grid = tuple(args.grid) if args.grid else (1, 4, 7, 10, 13, 16, 19)
     rows = run_figure4(devs_grid=devs_grid, seed=args.seed, jobs=args.jobs,
                        cache=_cache_from_args(args),
-                       telemetry=_telemetry_from_args(args, "figure4"))
+                       telemetry=_telemetry_from_args(args, "figure4"),
+                       supervision=_supervision_from_args(args))
     _emit_rows(rows, args)
     return 0
 
@@ -337,7 +439,8 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
     grid = tuple(args.grid) if args.grid else None
     kwargs = {"n_devs": args.devs, "seed": args.seed, "jobs": args.jobs,
               "cache": _cache_from_args(args),
-              "telemetry": _telemetry_from_args(args, "faultsweep")}
+              "telemetry": _telemetry_from_args(args, "faultsweep"),
+              "supervision": _supervision_from_args(args)}
     if grid:
         kwargs["intensity_grid"] = grid
     rows = run_fault_sweep(plan, **kwargs)
@@ -351,7 +454,8 @@ def cmd_recruitment(args: argparse.Namespace) -> int:
 
     rows = run_recruitment(n_devs=args.devs, seed=args.seed, jobs=args.jobs,
                            cache=_cache_from_args(args),
-                           telemetry=_telemetry_from_args(args, "recruitment"))
+                           telemetry=_telemetry_from_args(args, "recruitment"),
+                           supervision=_supervision_from_args(args))
     _emit_rows(rows, args)
     return 0
 
@@ -379,6 +483,118 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"evicted {evicted} cached runs "
               f"({cache.total_bytes()} bytes retained)")
     return 0
+
+
+def _chaos_run_flags(args: argparse.Namespace) -> List[str]:
+    """The child-run flags shared by every leg of the chaos harness."""
+    flags = [
+        "--devs", str(args.devs), "--seed", str(args.seed),
+        "--churn", args.churn, "--duration", str(args.duration),
+        "--binary-mix", args.binary_mix, "--payload", str(args.payload),
+        "--scheduler", args.scheduler, "--train", str(args.train),
+        "--flow", args.flow,
+    ]
+    if getattr(args, "faults", None):
+        flags += ["--faults", args.faults]
+    return flags
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Prove crash recovery end-to-end: run the scenario straight, then
+    SIGKILL an identical run right after a seeded checkpoint tick,
+    resume it from disk, and require the resumed run's result and
+    metrics files to be byte-identical to the straight run's.
+    """
+    import filecmp
+    import os
+    import random
+    import shutil
+    import signal as signal_module
+    import subprocess
+    import tempfile
+
+    import repro
+
+    every = args.checkpoint_every
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    base = [sys.executable, "-m", "repro", "run", *_chaos_run_flags(args)]
+    paths = {
+        name: os.path.join(workdir, f"{name}.json")
+        for name in ("straight", "straight-metrics", "resumed",
+                     "resumed-metrics", "chaos", "chaos-metrics")
+    }
+    checkpoint_dir = os.path.join(workdir, "checkpoints")
+    try:
+        print(f"[chaos] workdir {workdir}")
+        print("[chaos] leg 1/3: straight run")
+        subprocess.run(
+            base + ["--json", paths["straight"],
+                    "--metrics-out", paths["straight-metrics"]],
+            check=True, env=env, stdout=subprocess.DEVNULL,
+        )
+        with open(paths["straight"], encoding="utf-8") as handle:
+            sim_end = json.load(handle)["sim_end_time"]
+        fired = int((sim_end - 1e-9) // every)
+        if fired < 1:
+            print(
+                f"[chaos] error: no checkpoint fires before the run ends "
+                f"at t={sim_end:g} — lower --checkpoint-every (now {every:g})",
+                file=sys.stderr,
+            )
+            return 2
+        # The kill point is seeded, not wall-clock: the harness itself
+        # must be reproducible.
+        kill_tick = random.Random(f"{args.seed}-chaos").randint(1, fired)
+        print(f"[chaos] leg 2/3: kill -9 after checkpoint tick "
+              f"{kill_tick}/{fired} (t={kill_tick * every:g})")
+        victim = subprocess.run(
+            base + ["--json", paths["chaos"],
+                    "--metrics-out", paths["chaos-metrics"],
+                    "--checkpoint-every", str(every),
+                    "--checkpoint-dir", checkpoint_dir,
+                    "--kill-after-checkpoint", str(kill_tick)],
+            env=env, stdout=subprocess.DEVNULL,
+        )
+        if victim.returncode != -signal_module.SIGKILL:
+            print(
+                f"[chaos] error: victim exited {victim.returncode}, "
+                f"expected SIGKILL ({-signal_module.SIGKILL})",
+                file=sys.stderr,
+            )
+            return 2
+        print("[chaos] leg 3/3: resume from checkpoint")
+        subprocess.run(
+            [sys.executable, "-m", "repro", "run",
+             "--resume-from", checkpoint_dir,
+             "--json", paths["resumed"],
+             "--metrics-out", paths["resumed-metrics"]],
+            check=True, env=env, stdout=subprocess.DEVNULL,
+        )
+        result_ok = filecmp.cmp(paths["straight"], paths["resumed"],
+                                shallow=False)
+        metrics_ok = filecmp.cmp(paths["straight-metrics"],
+                                 paths["resumed-metrics"], shallow=False)
+        print(f"[chaos] result bytes identical:  "
+              f"{'yes' if result_ok else 'NO'}")
+        print(f"[chaos] metrics bytes identical: "
+              f"{'yes' if metrics_ok else 'NO'}")
+        if result_ok and metrics_ok:
+            print(f"[chaos] PASS: killed at tick {kill_tick}, resumed run "
+                  f"is byte-identical to the uninterrupted run")
+            return 0
+        print("[chaos] FAIL: resumed run diverges from the straight run",
+              file=sys.stderr)
+        return 1
+    finally:
+        if getattr(args, "keep", False):
+            print(f"[chaos] kept {workdir}")
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -410,6 +626,7 @@ def cmd_verify_determinism(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         flow=args.flow,
+        resume=args.resume,
     )
     if args.format == "json":
         print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -456,7 +673,23 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(enables full instrumentation)")
     run_parser.add_argument("--metrics-out",
                             help="write a metrics-registry snapshot as JSON "
-                                 "(enables full instrumentation)")
+                                 "(enables metrics instrumentation)")
+    run_parser.add_argument("--checkpoint-every", type=float, metavar="N",
+                            help="write a resumable checkpoint every N "
+                                 "sim-seconds (repro.checkpoint)")
+    run_parser.add_argument("--checkpoint-dir",
+                            help="checkpoint directory (default: "
+                                 ".repro-checkpoints)")
+    run_parser.add_argument("--resume-from", metavar="PATH",
+                            help="resume from a checkpoint file or "
+                                 "directory (uses the config embedded in "
+                                 "the checkpoint; the finished run is "
+                                 "byte-identical to an uninterrupted one)")
+    run_parser.add_argument("--kill-after-checkpoint", type=int,
+                            metavar="TICK",
+                            help="chaos hook: SIGKILL this process "
+                                 "immediately after writing checkpoint "
+                                 "TICK")
     run_parser.set_defaults(func=cmd_run)
 
     obs_parser = commands.add_parser(
@@ -522,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--progress", action="store_true",
                          help="stream per-point progress lines (cache "
                               "attribution, ETA, stragglers)")
+        _add_supervision_args(sub)
         _add_cache_args(sub)
         _add_output_args(sub)
         if name in ("figure2", "figure3"):
@@ -546,6 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="worker processes for grid points")
     faultsweep_parser.add_argument("--progress", action="store_true",
                                    help="stream per-point progress lines")
+    _add_supervision_args(faultsweep_parser)
     _add_cache_args(faultsweep_parser)
     _add_output_args(faultsweep_parser)
     faultsweep_parser.set_defaults(func=cmd_faultsweep)
@@ -559,6 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="worker processes for grid points")
     recruitment_parser.add_argument("--progress", action="store_true",
                                     help="stream per-point progress lines")
+    _add_supervision_args(recruitment_parser)
     _add_cache_args(recruitment_parser)
     _add_output_args(recruitment_parser)
     recruitment_parser.set_defaults(func=cmd_recruitment)
@@ -613,9 +849,29 @@ def build_parser() -> argparse.ArgumentParser:
                                default="off",
                                help="run the gate with the fluid-flow "
                                     "datapath in the checked config")
+    verify_parser.add_argument("--resume", action="store_true",
+                               help="also prove checkpoint/resume "
+                                    "equivalence: checkpoint a run, "
+                                    "resume it, compare result + metrics "
+                                    "byte-for-byte")
     verify_parser.add_argument("--format", choices=("text", "json"),
                                default="text")
     verify_parser.set_defaults(func=cmd_verify_determinism)
+
+    chaos_parser = commands.add_parser(
+        "chaos",
+        help="crash-recovery proof: SIGKILL a run mid-flight, resume "
+             "from its checkpoint, require byte-identical results",
+    )
+    _add_common_run_args(chaos_parser)
+    chaos_parser.add_argument("--checkpoint-every", type=float, default=20.0,
+                              metavar="N",
+                              help="checkpoint cadence in sim-seconds "
+                                   "(default: 20)")
+    chaos_parser.add_argument("--keep", action="store_true",
+                              help="keep the chaos working directory "
+                                   "(checkpoints + result files)")
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     epidemic_parser = commands.add_parser(
         "epidemic", help="worm propagation + SI fit (use case V-A2)"
@@ -630,11 +886,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sigterm_to_interrupt(signum, frame):  # pragma: no cover - signal path
+    raise KeyboardInterrupt
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    import signal as signal_module
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        # SIGTERM gets the same graceful path as ^C: commands catch
+        # KeyboardInterrupt, dump their flight recorder, and exit 130.
+        signal_module.signal(signal_module.SIGTERM, _sigterm_to_interrupt)
+    except (ValueError, OSError):  # not the main thread / no signals
+        pass
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -280,6 +280,21 @@ class DevFleet:
         base = self.devs[0].ipv6.value & ~((1 << 64) - 1)
         return base, min(iids), max(iids)
 
+    def checkpoint_state(self) -> dict:
+        """Deterministic fleet state (composition + per-dev link/attack
+        progress) for checkpoint fingerprints."""
+        offered_bytes, offered_packets = self.total_offered_attack()
+        return {
+            "online": self.online_count(),
+            "offered_bytes": offered_bytes,
+            "offered_packets": offered_packets,
+            "devs": [
+                [dev.index, dev.name, dev.kind, dev.rate_bps,
+                 dev.weak_credentials, dev.link.up, dev.container.state]
+                for dev in self.devs
+            ],
+        }
+
     def total_offered_attack(self) -> Tuple[int, int]:
         """(bytes, packets) actually emitted by all bots' floods."""
         total_bytes = 0

@@ -165,6 +165,30 @@ class DDoSim:
         metrics.counter("queue_drops_total",
                         help="packets dropped by transmit queues")
 
+    def named_rngs(self):
+        """Every named RNG stream of this run as ``(label, Random)``
+        pairs, in a fixed order — what checkpoint fingerprints hash so a
+        replay that drifts in any stream is caught at the next barrier."""
+        pairs = [
+            ("ddosim", self.rng),
+            ("credentials", self.devs._credential_rng),
+        ]
+        if self.static_churn is not None:
+            pairs.append(("static-churn", self.static_churn.rng))
+        if self.dynamic_churn is not None:
+            pairs.append(("dynamic-churn", self.dynamic_churn.rng))
+        injector = self.fault_injector
+        if injector is not None:
+            pairs.append(("faults", injector.rng))
+            pairs.append(("faults-loss", injector._loss_rng))
+            if injector.static_churn is not None:
+                pairs.append(("faults-static-churn", injector.static_churn.rng))
+            if injector.dynamic_churn is not None:
+                pairs.append(
+                    ("faults-dynamic-churn", injector.dynamic_churn.rng)
+                )
+        return pairs
+
     # ------------------------------------------------------------------
     # Assembly
     # ------------------------------------------------------------------

@@ -251,6 +251,18 @@ class FaultInjector:
         self.dynamic_churn = None
         self._armed = False
 
+    def checkpoint_state(self) -> dict:
+        """Deterministic injection progress for checkpoint fingerprints
+        (the RNG streams themselves are hashed by the framework)."""
+        return {
+            "injected": self.injected,
+            "armed": self._armed,
+            "log": [
+                [event.time, event.kind, event.target, event.action]
+                for event in self.log
+            ],
+        }
+
     # ------------------------------------------------------------------
     # Target resolution
     # ------------------------------------------------------------------

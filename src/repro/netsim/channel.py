@@ -168,5 +168,10 @@ class PointToPointChannel(Channel):
                     sender=sender.name, size=packet.size, count=count,
                     delay=self.delay,
                 )
+        if count > 1:
+            # Last-hop propagation delay, so the sink can reconstruct
+            # each member's arrival with the exact op sequence the
+            # per-packet path uses (completion + delay, one add).
+            packet.link_delay = self.delay
         # Receive events are never cancelled: fire-and-forget freelist path.
         self.sim.schedule_bare(self.delay, peer.receive, packet)

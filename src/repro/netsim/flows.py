@@ -315,6 +315,51 @@ class FlowEngine:
         """Integrate through ``sim.now`` (end-of-run settlement)."""
         self.advance()
 
+    def checkpoint_state(self) -> dict:
+        """Deterministic engine state — epochs, every flow's exact byte
+        accounting, and all fractional-packet remainder accumulators —
+        for checkpoint fingerprinting.  Read-only: no segment is closed.
+        """
+
+        def flow_state(flow: FluidFlow) -> list:
+            return [
+                flow.flow_id,
+                str(flow.src_address),
+                flow.src_port,
+                flow.dst_port,
+                flow.rate_bps,
+                flow.packet_size,
+                flow.started_at,
+                flow.stopped_at,
+                flow.active,
+                flow.offered_bytes,
+                flow.delivered_bytes,
+                flow.dropped_bytes,
+                flow.inject_rate_bps,
+                flow._injecting,
+                flow._inject_started,
+                flow._seg_latency,
+            ]
+
+        hops = []
+        for device, slots in self._hop_states.items():
+            hops.append([
+                getattr(device, "name", type(device).__name__),
+                [
+                    [flow.flow_id, slot.backlog, slot.drop_rem, slot.tx_rem,
+                     slot.loss_rem, slot.down_rem]
+                    for flow, slot in slots.items()
+                ],
+            ])
+        return {
+            "mode": self.mode,
+            "epochs": self.epochs,
+            "seg_start": self._seg_start,
+            "active": [flow_state(flow) for flow in self.flows],
+            "finished": [flow_state(flow) for flow in self.finished],
+            "hops": hops,
+        }
+
     # ------------------------------------------------------------------
     # Segment integration
     # ------------------------------------------------------------------

@@ -147,9 +147,20 @@ class PointToPointDevice(NetDevice):
         tx_delay = packet.size * 8.0 / self.data_rate_bps
         count = packet.count
         if count > 1:
-            packet.spacing = tx_delay  # sink reconstructs member arrivals
-            tx_delay = tx_delay * count
-        self.sim.schedule_bare(tx_delay, self._transmit_complete, packet)
+            # Serialize the train with the same float-add chain the
+            # per-packet path produces (one add per member), not a
+            # single `tx_delay * count` multiply: the rounding differs,
+            # and a member arrival landing an ulp across a bin boundary
+            # breaks the train == per-packet bit-identity contract.
+            # The start time and per-member spacing are stamped so the
+            # sink can replay the exact chain for every member.
+            packet.spacing = tx_delay
+            packet.tx_start = completion = self.sim.now
+            for _ in range(count):
+                completion += tx_delay
+            self.sim.schedule_bare_at(completion, self._transmit_complete, packet)
+        else:
+            self.sim.schedule_bare(tx_delay, self._transmit_complete, packet)
 
     def _transmit_complete(self, packet: Packet) -> None:
         if self.up and self.channel is not None:

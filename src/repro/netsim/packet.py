@@ -46,6 +46,12 @@ class Packet:
     #: inter-packet gap within a train, seconds (stamped by the last
     #: serializing device; 0.0 for ordinary packets)
     spacing: float = 0.0
+    #: absolute time the last serializing device began transmitting the
+    #: train (None when the carrying device does not stamp it)
+    tx_start: Optional[float] = None
+    #: propagation delay of the last carrying channel (None when the
+    #: channel does not stamp it)
+    link_delay: Optional[float] = None
 
     def __init__(
         self,
@@ -136,7 +142,7 @@ class PacketTrain(Packet):
     to a plain :class:`Packet`.
     """
 
-    __slots__ = ("count", "spacing")
+    __slots__ = ("count", "spacing", "tx_start", "link_delay")
 
     def __init__(
         self,
@@ -149,6 +155,8 @@ class PacketTrain(Packet):
         super().__init__(None, payload_size, created_at)
         self.count = count
         self.spacing = 0.0
+        self.tx_start = None
+        self.link_delay = None
 
     def copy(self) -> "PacketTrain":
         clone = PacketTrain(self.payload_size, self.count, self.created_at)
@@ -156,6 +164,8 @@ class PacketTrain(Packet):
         clone.span = self.span
         clone._size = self._size
         clone.spacing = self.spacing
+        clone.tx_start = self.tx_start
+        clone.link_delay = self.link_delay
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -155,6 +155,21 @@ class DropTailQueue:
                     lost=count, depth=self.packets_queued,
                 )
 
+    def checkpoint_state(self) -> dict:
+        """Deterministic queue contents + counters for fingerprinting.
+
+        Entries are described by (size, count) shape — ``Packet.uid``
+        comes from a process-global counter and must never be hashed.
+        """
+        return {
+            "name": self.name,
+            "depth": self.packets_queued,
+            "bytes": self.bytes_queued,
+            "enqueued": self.enqueued,
+            "dropped": self.dropped,
+            "entries": [[p.size, p.count] for p in self._queue],
+        }
+
     def _record_drop(self, packet: Packet, reason: str, count: int = 1) -> None:
         self.dropped += count
         self._drop_counter.inc(count)

@@ -91,6 +91,11 @@ class HeapScheduler:
         heapq.heapify(heap)
         return before - len(heap)
 
+    def events(self):
+        """Every queued event, tombstones included, in no particular
+        order (checkpoint fingerprints sort by the (time, seq) key)."""
+        return iter(self._heap)
+
 
 class CalendarScheduler:
     """NS-3-style calendar queue: an array of time buckets.
@@ -216,6 +221,13 @@ class CalendarScheduler:
             removed += before - len(bucket)
         self._count -= removed
         return removed
+
+    def events(self):
+        """Every queued event, tombstones included, in no particular
+        order (checkpoint fingerprints sort by the (time, seq) key)."""
+        for bucket in self._buckets:
+            for event in bucket:
+                yield event
 
     # ------------------------------------------------------------------
     # Resizing

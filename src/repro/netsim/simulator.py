@@ -200,6 +200,31 @@ class Simulator:
         self._live += 1
         self._sched.push(event)
 
+    def schedule_bare_at(self, time: float, callback: Callable, *args: Any) -> None:
+        """:meth:`schedule_bare` at an absolute virtual ``time``.
+
+        Exists so callers that computed an exact event time (e.g. a
+        train's serialization chain) can schedule it without the extra
+        ``now + (time - now)`` rounding a delay-based call would add.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        self._seq += 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+        else:
+            event = ScheduledEvent(time, self._seq, callback, args)
+            event.recycle = True
+        self._live += 1
+        self._sched.push(event)
+
     def _note_cancel(self) -> None:
         """Live/tombstone bookkeeping for one cancellation; compacts the
         queue when tombstones dominate (in place, so the run loop's alias
@@ -356,6 +381,12 @@ class Simulator:
         """Raw queue length including cancelled tombstones (what the
         queue physically holds; profiler high-water tracks this)."""
         return len(self._sched)
+
+    def checkpoint_events(self):
+        """Every queued event — tombstones included — for checkpoint
+        fingerprinting; iteration order is scheduler-internal, callers
+        must sort by the (time, seq) key."""
+        return self._sched.events()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -73,15 +73,27 @@ class PacketSink(Application):
             if self.first_packet_time is None:
                 self.first_packet_time = now
         else:
-            # A train arrives as one event stamped with the last member's
-            # time; reconstruct each member's arrival from the per-packet
-            # serialization spacing so the rate bins stay exact.
+            # A train arrives as one event; reconstruct each member's
+            # arrival so the rate bins stay exact.  When the last hop
+            # stamped its serialization start and propagation delay,
+            # replay the per-packet path's float-add chain verbatim
+            # (start + spacing, member by member, + delay) — backward
+            # arithmetic from ``now`` rounds differently and can drop a
+            # member into the neighbouring bin.
             spacing = packet.spacing
-            first_arrival = now - (count - 1) * spacing
+            delay = packet.link_delay
             bins = self.bytes_per_bin
             width = self.bin_width
-            for member in range(count):
-                bins[int((first_arrival + member * spacing) / width)] += size
+            if delay is not None and packet.tx_start is not None:
+                t = packet.tx_start
+                first_arrival = t + spacing + delay
+                for member in range(count):
+                    t += spacing
+                    bins[int((t + delay) / width)] += size
+            else:
+                first_arrival = now - (count - 1) * spacing
+                for member in range(count):
+                    bins[int((first_arrival + member * spacing) / width)] += size
             if self.first_packet_time is None:
                 self.first_packet_time = first_arrival
         self.last_packet_time = now
@@ -249,6 +261,30 @@ class PacketSink(Application):
                 "span": flow["span"],
             })
         return records
+
+    def checkpoint_state(self) -> dict:
+        """Deterministic histogram/flow/quantizer state for checkpoint
+        fingerprints (all dict iterations sorted by stable string keys)."""
+        return {
+            "bin_width": self.bin_width,
+            "total_packets": self.total_packets,
+            "total_bytes": self.total_bytes,
+            "bins": sorted(
+                [int(index), count] for index, count in self.bytes_per_bin.items()
+            ),
+            "per_source": sorted(
+                [str(address), port, entry[0], entry[1]]
+                for (address, port), entry in self.per_source.items()
+            ),
+            "flows": self.flow_records(),
+            "first": self.first_packet_time,
+            "last": self.last_packet_time,
+            "fluid": sorted(
+                [str(flow.src_address), flow.src_port, flow.dst_port,
+                 state[0], state[1]]
+                for flow, state in self._fluid.items()
+            ),
+        }
 
     def reset(self) -> None:
         """Clear all counters (used between experiment phases)."""

@@ -77,6 +77,39 @@ class HostLink:
         else:
             self.router_device.set_admin_down()
 
+    def checkpoint_state(self) -> dict:
+        """Deterministic device/queue/channel state for fingerprinting."""
+
+        def device_state(device) -> dict:
+            return {
+                "up": device.up,
+                "oper": device._oper_up,
+                "admin": device.admin_up,
+                "rate": device.data_rate_bps,
+                "tx_packets": device.tx_packets,
+                "tx_bytes": device.tx_bytes,
+                "rx_packets": device.rx_packets,
+                "rx_bytes": device.rx_bytes,
+                "drops_down": device.drops_down,
+                "transmitting": device._transmitting,
+                "queue": device.queue.checkpoint_state(),
+            }
+
+        channel = self.channel
+        rng = channel._rng
+        return {
+            "node": self.node.name,
+            "host": device_state(self.host_device),
+            "router": device_state(self.router_device),
+            "channel": {
+                "delay": channel.delay,
+                "loss_rate": channel.loss_rate,
+                "carried": channel.packets_carried,
+                "lost": channel.packets_lost,
+                "rng": repr(rng.getstate()) if rng is not None else None,
+            },
+        }
+
 
 class StarInternet:
     """A star topology: every host hangs off one forwarding router."""
@@ -160,6 +193,11 @@ class StarInternet:
     def set_host_up(self, node: Node, up: bool) -> None:
         """Churn hook: connect/disconnect a host's access link."""
         self.links[node].set_up(up)
+
+    def checkpoint_state(self) -> list:
+        """Per-link fingerprint state, ordered by host node name."""
+        ordered = sorted(self.links.values(), key=lambda link: link.node.name)
+        return [link.checkpoint_state() for link in ordered]
 
     def total_queue_drops(self) -> int:
         """Congestion losses across every queue in the star."""

@@ -5,13 +5,22 @@ points share nothing — each builds its own :class:`Simulator` from its
 own config and seed — so they spread perfectly across worker processes.
 This module is the one place that knows how.
 
-Dispatch is a **dynamic work queue**, not static sharding: tasks sit on
-one shared queue and idle workers pull the next point the moment they
-finish their last (``imap_unordered`` with single-task chunks — the
-multiprocessing flavour of work stealing).  A sweep whose grid is skewed
-(one 150-Dev point among 10-Dev points) no longer idles the pool behind
-its slowest static shard; the slow point occupies one worker while the
-rest drain everything else.
+Dispatch is a **dynamic work queue**, not static sharding: the parent
+hands each worker exactly one point at a time over a private pipe and
+idle workers get the next point the moment they finish their last.  A
+sweep whose grid is skewed (one 150-Dev point among 10-Dev points) no
+longer idles the pool behind its slowest static shard; the slow point
+occupies one worker while the rest drain everything else.
+
+Execution is **supervised**: every worker streams heartbeats to the
+parent, so the parent can distinguish a dead worker (pipe EOF, process
+gone) from a *hung* one (alive but silent past the heartbeat deadline).
+Either way the worker is SIGKILLed and replaced, and the point is
+retried with capped-exponential backoff — the same schedule the bots
+use to re-reach a flapping C&C (:mod:`repro.botnet.bot`).  When a
+:class:`Supervision` enables per-point wall-clock timeouts, a point
+that exhausts its retries is **quarantined** (the sweep completes and
+reports it) instead of killing the whole sweep.
 
 :func:`run_cached` adds the cache layer (:mod:`repro.cache`): it first
 partitions the grid into hits — served instantly from disk, no
@@ -21,24 +30,42 @@ sweep therefore resumes: rerunning it re-serves every committed point
 and recomputes only the remainder.
 
 Determinism: a run's outcome depends only on its config (the per-run
-RNGs are seeded from ``config.seed``), so neither sharding nor dispatch
-order can change any result — ``jobs=N`` returns byte-identical rows to
-``jobs=1``, just sooner on a multi-core host.  ``jobs<=1`` bypasses
-multiprocessing entirely and runs the exact serial path (in grid order).
+RNGs are seeded from ``config.seed``), so neither sharding, dispatch
+order, nor retries can change any result — ``jobs=N`` returns
+byte-identical rows to ``jobs=1``, just sooner on a multi-core host.
+``jobs<=1`` bypasses multiprocessing entirely and runs the exact serial
+path (in grid order), unless a :class:`Supervision` needs a worker
+process to enforce its timeout.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
 import sys
+import threading
 import time
+from collections import deque
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SimulationConfig
 from repro.core.results import RunResult
 from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import SpanTracker
+
+#: retry backoff schedule — the bot reconnect pattern (base * 2^(n-1),
+#: capped), scaled to sweep-harness magnitudes
+RETRY_BACKOFF = 0.25
+RETRY_BACKOFF_MAX = 8.0
+
+#: wall seconds between worker->parent heartbeats
+HEARTBEAT_INTERVAL = 0.2
+
+#: test hook: setting this event inside a worker process silences its
+#: heartbeat thread, simulating a hung-but-alive worker
+_heartbeat_suppressed = threading.Event()
 
 
 def default_jobs() -> int:
@@ -48,7 +75,7 @@ def default_jobs() -> int:
 
 
 def _run_one(config: SimulationConfig) -> RunResult:
-    # Module-level so it pickles for the pool.
+    # Module-level so it pickles for spawn-based platforms.
     from repro.core.framework import DDoSim
 
     return DDoSim(config).run()
@@ -65,33 +92,463 @@ def _run_one_with_metrics(
     return result, ddosim.obs.metrics.snapshot()
 
 
-def _make_pool(jobs: int):
+def _mp_context():
     # fork shares the already-imported modules with the workers; fall
     # back to the platform default (spawn) where fork is unavailable.
     try:
-        context = multiprocessing.get_context("fork")
+        return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    return context.Pool(processes=jobs)
-
-
-def _invoke_indexed(task):
-    """Pool entry point: run one tagged task so unordered completion can
-    still be reassembled into grid order."""
-    index, fn, item = task
-    return index, fn(item)
+        return multiprocessing.get_context()
 
 
 def _invoke_indexed_timed(task):
-    """Like :func:`_invoke_indexed`, but also reports the point's wall
-    time so sweep telemetry can spot stragglers and project an ETA.
-    The timing rides alongside the result — it never feeds back into the
+    """Serial-path helper: run one tagged task and report its wall time
+    so sweep telemetry can spot stragglers and project an ETA.  The
+    timing rides alongside the result — it never feeds back into the
     simulation, so determinism is untouched."""
     index, fn, item = task
     t0 = time.monotonic()  # simlint: disable=SIM101
     value = fn(item)
     elapsed = time.monotonic() - t0  # simlint: disable=SIM101
     return index, value, elapsed
+
+
+# ----------------------------------------------------------------------
+# Supervision policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Supervision:
+    """How a sweep reacts to slow, hung, and dead workers.
+
+    The default policy (used whenever ``jobs>1``) retries a point once
+    after a worker death — a single transient crash no longer costs the
+    point — and otherwise changes nothing.  Setting ``point_timeout``
+    arms the full harness: per-point wall-clock deadlines, stale-
+    heartbeat hang detection, and quarantine after ``retries`` are
+    exhausted so one poison point cannot kill the sweep.
+    """
+
+    #: wall-clock seconds one point may run before its worker is killed
+    point_timeout: Optional[float] = None
+    #: extra attempts after the first, for timeouts/hangs/worker deaths
+    retries: int = 1
+    #: quarantine exhausted points instead of raising; None = automatic
+    #: (on exactly when a point_timeout is set)
+    quarantine: Optional[bool] = None
+    #: capped-exponential retry delay parameters (bot-backoff shape)
+    backoff_base: float = RETRY_BACKOFF
+    backoff_cap: float = RETRY_BACKOFF_MAX
+    #: worker heartbeat period (wall seconds)
+    heartbeat_interval: float = HEARTBEAT_INTERVAL
+    #: silence longer than this marks a live worker as hung; None =
+    #: automatic (enabled with a generous default when point_timeout is
+    #: set, off otherwise — hang detection must never kill healthy
+    #: workers in the default policy)
+    hung_after: Optional[float] = None
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based): the capped
+        exponential schedule the bots use for C&C reconnects."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+    @property
+    def quarantines(self) -> bool:
+        if self.quarantine is not None:
+            return self.quarantine
+        return self.point_timeout is not None
+
+    @property
+    def effective_hung_after(self) -> Optional[float]:
+        if self.hung_after is not None:
+            return self.hung_after
+        if self.point_timeout is not None:
+            return max(5.0, 25.0 * self.heartbeat_interval)
+        return None
+
+    @property
+    def needs_worker(self) -> bool:
+        """True when this policy can only be enforced out-of-process."""
+        return self.point_timeout is not None or self.hung_after is not None
+
+
+DEFAULT_SUPERVISION = Supervision()
+
+
+@dataclass(frozen=True)
+class QuarantinedPoint:
+    """Placeholder result for a point that exhausted its retries.
+
+    Sweeps carrying one of these completed; row builders skip it and
+    the sweep summary reports which grid indices were quarantined."""
+
+    index: int
+    attempts: int
+    reason: str  # "timeout" | "hung" | "worker_death"
+    error: str = ""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _supervised_worker(conn, fn, heartbeat_interval: float) -> None:
+    """One supervised worker: pull (index, item) tasks off ``conn``, run
+    them, send back ("ok", ...) / ("err", ...), and stream ("hb",)
+    heartbeats from a side thread so the parent can tell hung from dead.
+    """
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            if _heartbeat_suppressed.is_set():
+                continue  # test hook: play dead while staying alive
+            try:
+                with send_lock:
+                    conn.send(("hb",))
+            except (BrokenPipeError, OSError):
+                return
+
+    threading.Thread(target=beat, daemon=True).start()
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            index, item = task
+            t0 = time.monotonic()  # simlint: disable=SIM101
+            try:
+                value = fn(item)
+            except BaseException as exc:
+                elapsed = time.monotonic() - t0  # simlint: disable=SIM101
+                try:
+                    message = ("err", index, exc, elapsed)
+                    with send_lock:
+                        conn.send(message)
+                except Exception:
+                    # The exception itself didn't pickle; degrade to repr.
+                    with send_lock:
+                        conn.send(("err", index, RuntimeError(repr(exc)), elapsed))
+                continue
+            elapsed = time.monotonic() - t0  # simlint: disable=SIM101
+            with send_lock:
+                conn.send(("ok", index, value, elapsed))
+    finally:
+        stop.set()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _WorkerSlot:
+    """Parent-side bookkeeping for one supervised worker process."""
+
+    __slots__ = ("process", "conn", "index", "started", "last_beat")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.index: Optional[int] = None  # grid index in flight, if any
+        self.started = 0.0
+        self.last_beat = 0.0
+
+
+def _spawn_worker(ctx, fn, heartbeat_interval: float) -> _WorkerSlot:
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(
+        target=_supervised_worker,
+        args=(child_conn, fn, heartbeat_interval),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    return _WorkerSlot(process, parent_conn)
+
+
+def _kill_worker(slot: _WorkerSlot) -> None:
+    try:
+        slot.process.kill()
+    except Exception:
+        pass
+    slot.process.join(timeout=2.0)
+    try:
+        slot.conn.close()
+    except OSError:
+        pass
+
+
+def _shutdown_workers(workers: List[_WorkerSlot]) -> None:
+    for slot in workers:
+        try:
+            slot.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+    for slot in workers:
+        slot.process.join(timeout=2.0)
+        if slot.process.is_alive():
+            slot.process.kill()
+            slot.process.join(timeout=2.0)
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+
+
+def _supervised_map(
+    fn,
+    items: Sequence,
+    jobs: int,
+    on_complete: Optional[Callable[[int, object], None]],
+    telemetry: Optional["SweepTelemetry"],
+    supervision: Supervision,
+) -> List:
+    """The supervised executor: per-worker pipes (a killed worker can
+    only corrupt its own, which dies with it), heartbeat monitoring,
+    deadline enforcement, retry with backoff, and quarantine."""
+    monotonic = time.monotonic  # simlint: disable=SIM101
+    ctx = _mp_context()
+    total = len(items)
+    n_workers = max(1, min(jobs, total))
+    hung_after = supervision.effective_hung_after
+    results: List = [None] * total
+    attempts = [0] * total
+    #: (grid index, earliest wall time it may be dispatched)
+    pending = deque((index, 0.0) for index in range(total))
+    completed = 0
+
+    def fail_attempt(index: int, reason: str, error: str) -> None:
+        nonlocal completed
+        attempts[index] += 1
+        if attempts[index] <= supervision.retries:
+            delay = supervision.backoff(attempts[index])
+            if telemetry is not None:
+                telemetry.point_retried(index, attempts[index], reason, delay)
+            pending.append((index, monotonic() + delay))
+            return
+        if supervision.quarantines:
+            results[index] = QuarantinedPoint(
+                index=index, attempts=attempts[index], reason=reason,
+                error=error,
+            )
+            completed += 1
+            if telemetry is not None:
+                telemetry.point_quarantined(index, reason, attempts[index])
+            return
+        exc = RuntimeError(
+            f"sweep point {index} failed after {attempts[index]} attempt(s) "
+            f"({reason}): {error}"
+        )
+        if telemetry is not None:
+            telemetry.worker_died(exc)
+        raise exc
+
+    workers = [
+        _spawn_worker(ctx, fn, supervision.heartbeat_interval)
+        for _ in range(n_workers)
+    ]
+    by_conn = {slot.conn: slot for slot in workers}
+
+    def replace_worker(slot: _WorkerSlot) -> None:
+        by_conn.pop(slot.conn, None)
+        _kill_worker(slot)
+        fresh = _spawn_worker(ctx, fn, supervision.heartbeat_interval)
+        workers[workers.index(slot)] = fresh
+        by_conn[fresh.conn] = fresh
+
+    def on_death(slot: _WorkerSlot, detail: str) -> None:
+        index = slot.index
+        slot.index = None
+        replace_worker(slot)
+        if index is not None:
+            fail_attempt(index, "worker_death", detail)
+
+    try:
+        while completed < total:
+            now = monotonic()
+            # Dispatch ready work to idle workers, preserving queue order.
+            for slot in workers:
+                if slot.index is not None or not pending:
+                    continue
+                picked = None
+                for position, (index, not_before) in enumerate(pending):
+                    if not_before <= now:
+                        picked = position
+                        break
+                if picked is None:
+                    continue
+                index, _not_before = pending[picked]
+                del pending[picked]
+                slot.index = index
+                slot.started = slot.last_beat = now
+                try:
+                    slot.conn.send((index, items[index]))
+                except (BrokenPipeError, OSError) as exc:
+                    on_death(slot, f"send failed: {exc!r}")
+            # Sleep until the nearest deadline (retry release, point
+            # timeout, or hang check), bounded so silent process death
+            # is still noticed promptly.
+            deadlines = [not_before for _index, not_before in pending]
+            for slot in workers:
+                if slot.index is None:
+                    continue
+                if supervision.point_timeout is not None:
+                    deadlines.append(slot.started + supervision.point_timeout)
+                if hung_after is not None:
+                    deadlines.append(slot.last_beat + hung_after)
+            now = monotonic()
+            wait_for = 0.5
+            if deadlines:
+                wait_for = min(wait_for, max(0.01, min(deadlines) - now))
+            ready = multiprocessing.connection.wait(
+                list(by_conn), timeout=wait_for
+            )
+            for conn in ready:
+                slot = by_conn.get(conn)
+                if slot is None:
+                    continue
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    slot.process.join(timeout=1.0)  # reap to get the exitcode
+                    on_death(slot, f"pipe closed (exitcode "
+                                   f"{slot.process.exitcode})")
+                    continue
+                kind = message[0]
+                if kind == "hb":
+                    slot.last_beat = monotonic()
+                    continue
+                index, value, elapsed = message[1], message[2], message[3]
+                slot.index = None
+                slot.last_beat = monotonic()
+                if kind == "err":
+                    # The point fn itself raised: deterministic, so a
+                    # retry would raise again — surface it (with the
+                    # telemetry post-mortem) exactly like the serial
+                    # path would.
+                    if telemetry is not None:
+                        telemetry.worker_died(value)
+                    raise value
+                results[index] = value
+                completed += 1
+                if telemetry is not None:
+                    telemetry.point_done(index, elapsed)
+                if on_complete is not None:
+                    on_complete(index, value)
+            # Deadline scan: wall-clock overruns and stale heartbeats.
+            now = monotonic()
+            for slot in list(workers):
+                index = slot.index
+                if index is None:
+                    if not slot.process.is_alive() and (
+                        pending or completed < total
+                    ):
+                        on_death(slot, "idle worker exited")
+                    continue
+                if (
+                    supervision.point_timeout is not None
+                    and now - slot.started > supervision.point_timeout
+                ):
+                    slot.index = None
+                    replace_worker(slot)
+                    fail_attempt(
+                        index, "timeout",
+                        f"exceeded {supervision.point_timeout:g}s wall clock",
+                    )
+                elif hung_after is not None and now - slot.last_beat > hung_after:
+                    slot.index = None
+                    replace_worker(slot)
+                    fail_attempt(
+                        index, "hung",
+                        f"no heartbeat for {hung_after:g}s (process alive)",
+                    )
+    finally:
+        _shutdown_workers(workers)
+    return results
+
+
+def run_map(
+    fn,
+    items: Sequence,
+    jobs: int = 1,
+    on_complete: Optional[Callable[[int, object], None]] = None,
+    telemetry: Optional["SweepTelemetry"] = None,
+    supervision: Optional[Supervision] = None,
+) -> List:
+    """Map ``fn`` over ``items`` through the supervised dynamic work
+    queue; results come back in input order.
+
+    ``on_complete(index, value)`` fires in *this* process as each item
+    finishes (completion order, not input order) — the hook
+    :func:`run_cached` uses to commit points incrementally.  ``jobs<=1``
+    runs serially in this process (the exact seed path, input order)
+    unless ``supervision`` needs a worker process to enforce a timeout.
+
+    ``telemetry`` (a :class:`SweepTelemetry`) receives a ``point_done``
+    per completed item, retry/quarantine notes, and a ``worker_died``
+    (plus a flight-recorder dump) on fatal failures.  Purely
+    observational: results are identical with and without it.
+
+    ``supervision`` (a :class:`Supervision`) controls timeout, retry,
+    hang-detection and quarantine policy; the default retries each point
+    once after a worker death.  Quarantined points come back as
+    :class:`QuarantinedPoint` placeholders in the result list (and are
+    never passed to ``on_complete``).
+    """
+    # The in-process serial path is only for the *default* policy: an
+    # explicit Supervision implies worker isolation (timeouts, hangs,
+    # and crashes can't be survived in-process).
+    supervise = supervision if supervision is not None else DEFAULT_SUPERVISION
+    if supervision is None and (jobs <= 1 or len(items) <= 1):
+        out = []
+        for index, item in enumerate(items):
+            if telemetry is not None:
+                _index, value, elapsed = _invoke_indexed_timed((index, fn, item))
+                telemetry.point_done(index, elapsed)
+            else:
+                value = fn(item)
+            if on_complete is not None:
+                on_complete(index, value)
+            out.append(value)
+        return out
+    if not items:
+        return []
+    try:
+        return _supervised_map(
+            fn, items, jobs, on_complete, telemetry, supervise
+        )
+    except KeyboardInterrupt:
+        # Interrupted sweep parent: dump the telemetry flight recorder
+        # so the run-up survives the ^C / SIGTERM, then propagate.
+        if telemetry is not None:
+            telemetry.interrupted("KeyboardInterrupt")
+        raise
+
+
+def run_configs(
+    configs: Sequence[SimulationConfig],
+    jobs: int = 1,
+) -> List[RunResult]:
+    """Run every config; results come back in input order.
+
+    ``jobs<=1`` runs serially in this process (the exact seed path);
+    ``jobs>1`` spreads points across that many supervised workers.
+    """
+    return run_map(_run_one, configs, jobs)
+
+
+def run_configs_with_metrics(
+    configs: Sequence[SimulationConfig],
+    jobs: int = 1,
+) -> Tuple[List[RunResult], Dict[str, dict]]:
+    """Like :func:`run_configs`, but each run carries a metrics-only
+    observatory; returns (results, merged metric snapshot)."""
+    pairs = run_map(_run_one_with_metrics, configs, jobs)
+    results = [result for result, _snapshot in pairs]
+    merged = merge_metric_snapshots([snapshot for _result, snapshot in pairs])
+    return results, merged
 
 
 # ----------------------------------------------------------------------
@@ -108,15 +565,21 @@ class SweepTelemetry:
     completed point becomes a span in a sweep-local :class:`SpanTracker`
     (wall-clock offsets from :meth:`begin`), and every progress event is
     noted into a sweep-local :class:`FlightRecorder` that dumps itself
-    when a worker dies, so a crashed sweep leaves a post-mortem of the
-    points that led up to the death.
+    when a worker dies or the sweep parent is interrupted, so a crashed
+    sweep leaves a post-mortem of the points that led up to the death.
+
+    ``quiet=True`` suppresses routine progress lines but keeps recording
+    (and still prints failure/quarantine/interrupt diagnostics) — sweep
+    CLIs run with a quiet telemetry unless ``--progress`` is given, so
+    an interrupted or degraded sweep always leaves its post-mortem.
     """
 
     def __init__(self, label: str = "sweep", stream=None,
-                 straggler_factor: float = 3.0):
+                 straggler_factor: float = 3.0, quiet: bool = False):
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self.straggler_factor = straggler_factor
+        self.quiet = quiet
         self.spans = SpanTracker()
         self.recorder = FlightRecorder()
         self.total = 0
@@ -125,6 +588,8 @@ class SweepTelemetry:
         self.cached = 0
         self.computed = 0
         self.stragglers: List[int] = []
+        self.quarantined: List[int] = []
+        self.retries: List[Tuple[int, int, str]] = []
         self.last_summary: Optional[dict] = None
         self._elapsed: List[float] = []
         self._t0 = 0.0
@@ -134,7 +599,9 @@ class SweepTelemetry:
         """Seconds since :meth:`begin` (wall clock, harness-side only)."""
         return time.monotonic() - self._t0  # simlint: disable=SIM101
 
-    def _line(self, text: str) -> None:
+    def _line(self, text: str, force: bool = False) -> None:
+        if self.quiet and not force:
+            return
         print(f"[{self.label}] {text}", file=self.stream, flush=True)
 
     def _eta(self) -> Optional[float]:
@@ -186,14 +653,45 @@ class SweepTelemetry:
         self._line(f"point {index}: computed in {elapsed:.1f}s "
                    f"[{self.done}/{self.total}{eta_text}]{straggler}")
 
+    def point_retried(self, index: int, attempt: int, reason: str,
+                      delay: float) -> None:
+        t = self._now()
+        self.retries.append((index, attempt, reason))
+        self.recorder.note("sweep.point_retry", t, index=index,
+                           attempt=attempt, reason=reason,
+                           backoff=round(delay, 3))
+        self._line(f"point {index}: {reason}, retry {attempt} "
+                   f"in {delay:.2f}s", force=True)
+
+    def point_quarantined(self, index: int, reason: str,
+                          attempts: int) -> None:
+        self.done += 1
+        self.quarantined.append(index)
+        t = self._now()
+        self.recorder.note("sweep.quarantine", t, index=index,
+                           reason=reason, attempts=attempts)
+        self._line(f"point {index}: QUARANTINED after {attempts} "
+                   f"attempt(s) ({reason}) [{self.done}/{self.total}]",
+                   force=True)
+
     def worker_died(self, error: BaseException) -> None:
         t = self._now()
         self.recorder.note("sweep.worker_death", t, error=repr(error))
         dump = self.recorder.dump("sweep.worker_death", t, error=repr(error))
-        self._line(f"worker died: {error!r}")
+        self._line(f"worker died: {error!r}", force=True)
         if dump is not None:
             self._line(f"flight recorder: {len(dump['notes'])} notes "
-                       f"preserved for post-mortem")
+                       f"preserved for post-mortem", force=True)
+
+    def interrupted(self, reason: str = "KeyboardInterrupt") -> None:
+        """Sweep parent interrupted (^C / SIGTERM): force a recorder
+        dump so the run-up to the interruption survives."""
+        t = self._now()
+        dump = self.recorder.dump("sweep.interrupted", t, reason=reason)
+        self._line(f"interrupted ({reason})", force=True)
+        if dump is not None:
+            self._line(f"flight recorder: {len(dump['notes'])} notes "
+                       f"preserved for post-mortem", force=True)
 
     def finish(self) -> dict:
         t = self._now()
@@ -202,100 +700,24 @@ class SweepTelemetry:
             "cached": self.cached,
             "computed": self.computed,
             "stragglers": list(self.stragglers),
+            "quarantined": list(self.quarantined),
+            "retries": len(self.retries),
             "wall_seconds": round(t, 3),
         }
         self.recorder.note("sweep.finish", t, **{
-            key: value for key, value in summary.items() if key != "stragglers"
+            key: value for key, value in summary.items()
+            if key not in ("stragglers", "quarantined")
         })
         straggler_text = (f", stragglers: {self.stragglers}"
                           if self.stragglers else "")
+        quarantine_text = (f", QUARANTINED: {self.quarantined}"
+                           if self.quarantined else "")
         self._line(f"done: {self.cached} cached + {self.computed} computed "
-                   f"of {self.total} in {t:.1f}s{straggler_text}")
+                   f"of {self.total} in {t:.1f}s"
+                   f"{straggler_text}{quarantine_text}",
+                   force=bool(self.quarantined))
         self.last_summary = summary
         return summary
-
-
-def run_map(
-    fn,
-    items: Sequence,
-    jobs: int = 1,
-    on_complete: Optional[Callable[[int, object], None]] = None,
-    telemetry: Optional[SweepTelemetry] = None,
-) -> List:
-    """Map a picklable ``fn`` over ``items`` through the dynamic work
-    queue; results come back in input order.
-
-    ``on_complete(index, value)`` fires in *this* process as each item
-    finishes (completion order, not input order) — the hook
-    :func:`run_cached` uses to commit points incrementally.  ``jobs<=1``
-    runs serially in this process (the exact seed path, input order).
-
-    ``telemetry`` (a :class:`SweepTelemetry`) receives a ``point_done``
-    per completed item with its wall time, and a ``worker_died`` (plus a
-    flight-recorder dump) if the pool iteration raises.  Purely
-    observational: results are identical with and without it.
-    """
-    if jobs <= 1 or len(items) <= 1:
-        out = []
-        for index, item in enumerate(items):
-            if telemetry is not None:
-                _index, value, elapsed = _invoke_indexed_timed((index, fn, item))
-                telemetry.point_done(index, elapsed)
-            else:
-                value = fn(item)
-            if on_complete is not None:
-                on_complete(index, value)
-            out.append(value)
-        return out
-    tasks = [(index, fn, item) for index, item in enumerate(items)]
-    results: List = [None] * len(items)
-    invoke = _invoke_indexed if telemetry is None else _invoke_indexed_timed
-    with _make_pool(min(jobs, len(items))) as pool:
-        # chunksize=1 keeps every task on the shared queue until a
-        # worker is actually free — self-balancing under skewed grids.
-        try:
-            for completed in pool.imap_unordered(invoke, tasks, 1):
-                if telemetry is not None:
-                    index, value, elapsed = completed
-                    telemetry.point_done(index, elapsed)
-                else:
-                    index, value = completed
-                results[index] = value
-                if on_complete is not None:
-                    on_complete(index, value)
-        except Exception as exc:
-            # A worker death surfaces here (e.g. a run raising, or the
-            # pool losing a process); dump the telemetry ring so the
-            # run-up survives, then let the caller see the failure.
-            if telemetry is not None:
-                telemetry.worker_died(exc)
-            raise
-    return results
-
-
-def run_configs(
-    configs: Sequence[SimulationConfig],
-    jobs: int = 1,
-) -> List[RunResult]:
-    """Run every config; results come back in input order.
-
-    ``jobs<=1`` runs serially in this process (the exact seed path);
-    ``jobs>1`` spreads points across that many workers via the shared
-    queue.
-    """
-    return run_map(_run_one, configs, jobs)
-
-
-def run_configs_with_metrics(
-    configs: Sequence[SimulationConfig],
-    jobs: int = 1,
-) -> Tuple[List[RunResult], Dict[str, dict]]:
-    """Like :func:`run_configs`, but each run carries a metrics-only
-    observatory; returns (results, merged metric snapshot)."""
-    pairs = run_map(_run_one_with_metrics, configs, jobs)
-    results = [result for result, _snapshot in pairs]
-    merged = merge_metric_snapshots([snapshot for _result, snapshot in pairs])
-    return results, merged
 
 
 # ----------------------------------------------------------------------
@@ -307,6 +729,7 @@ def run_cached(
     jobs: int = 1,
     cache=None,
     telemetry: Optional[SweepTelemetry] = None,
+    supervision: Optional[Supervision] = None,
 ) -> List:
     """Evaluate ``point_fn`` (config -> :class:`repro.cache.CachedRun`)
     over a grid, serving cache hits instantly and committing each
@@ -317,21 +740,24 @@ def run_cached(
 
     1. every config is fingerprinted and looked up — hits cost one JSON
        deserialize, no simulator is built;
-    2. only the misses go to the dynamic work queue;
+    2. only the misses go to the supervised work queue;
     3. each completed miss is committed from this (parent) process —
        one writer, atomic rename — so interrupting the sweep loses only
        in-flight points, and the rerun resumes from the committed ones;
     4. the session's hit/miss tally is persisted for
        ``repro cache stats``.
 
-    Results come back in grid order either way.  ``telemetry`` streams a
-    progress line per point, attributing each to the cache (with its
-    short blob key) or to a worker's computation.
+    Results come back in grid order either way.  ``supervision`` is
+    passed through to :func:`run_map`; quarantined points appear as
+    :class:`QuarantinedPoint` entries in the returned list (never
+    committed to the cache) and are reported on stderr.
     """
     if telemetry is not None:
         telemetry.begin(len(configs), jobs)
     if cache is None:
-        results = run_map(point_fn, configs, jobs, telemetry=telemetry)
+        results = run_map(point_fn, configs, jobs, telemetry=telemetry,
+                          supervision=supervision)
+        _report_quarantined(results, telemetry)
         if telemetry is not None:
             telemetry.finish()
         return results
@@ -353,18 +779,44 @@ def run_cached(
         cache.put(configs[index], value)
 
     try:
-        run_map(
+        miss_results = run_map(
             point_fn,
             [configs[index] for index in miss_indices],
             jobs,
             on_complete=commit,
             telemetry=telemetry,
+            supervision=supervision,
         )
+        for position, value in enumerate(miss_results):
+            if isinstance(value, QuarantinedPoint):
+                # Re-key from miss position to grid index; quarantined
+                # points are never cached, so a rerun retries them.
+                results[miss_indices[position]] = replace(
+                    value, index=miss_indices[position]
+                )
     finally:
         cache.commit_session()
+    _report_quarantined(results, telemetry)
     if telemetry is not None:
         telemetry.finish()
     return results
+
+
+def _report_quarantined(results: Sequence,
+                        telemetry: Optional[SweepTelemetry]) -> None:
+    """Make sure quarantined points are visible even without
+    ``--progress`` telemetry (which already prints them forcefully)."""
+    if telemetry is not None:
+        return
+    quarantined = [
+        entry.index for entry in results if isinstance(entry, QuarantinedPoint)
+    ]
+    if quarantined:
+        print(
+            f"[sweep] quarantined {len(quarantined)} point(s) after "
+            f"retries: indices {quarantined}",
+            file=sys.stderr,
+        )
 
 
 def merge_metric_snapshots(

@@ -13,6 +13,12 @@ parallel sweeps stand on.  This harness *executes* the contract:
 2. **jobs**: run a figure-2-style sweep at ``jobs=1`` and ``jobs=N``
    and compare rows byte-for-byte, proving dispatch order cannot leak
    into results.
+3. **resume** (opt-in via ``--resume``): run one config straight, run
+   it again with checkpoints armed (:mod:`repro.checkpoint`), resume a
+   third run from the on-disk checkpoint, and require both the
+   checkpointed and the resumed runs' serialized results and metrics
+   snapshots to be byte-identical to the straight run's — the
+   checkpoint layer must be result-neutral AND recovery-exact.
 
 ``repro verify-determinism`` is a thin CLI over
 :func:`verify_determinism`; CI runs it on a small grid as a gate.
@@ -206,12 +212,83 @@ def verify_jobs(
     )
 
 
+def verify_resume(
+    config=None,
+    seed: int = 1,
+    flow: str = "off",
+    every: Optional[float] = None,
+) -> CheckResult:
+    """Checkpoint/resume equivalence as a determinism check.
+
+    Three runs of one config: straight, checkpointed (ticks every
+    ``every`` sim-seconds), and resumed from the last on-disk
+    checkpoint.  All three must serialize to identical result bytes and
+    identical metrics snapshots; a replay drift raises
+    :class:`repro.checkpoint.CheckpointDivergence` naming the subsystem.
+    """
+    import shutil
+    import tempfile
+
+    from repro.checkpoint import CheckpointWriter, resume_run
+    from repro.core.framework import DDoSim
+    from repro.obs import Observatory
+    from repro.serialization import result_to_json
+
+    if config is None:
+        from repro.core.config import SimulationConfig
+
+        config = SimulationConfig(n_devs=3, seed=seed, flood_flow=flow,
+                                  attack_duration=30.0, sim_duration=200.0)
+
+    def run_serialized(ddosim) -> Tuple[str, str]:
+        result = ddosim.run()
+        metrics = json.dumps(ddosim.obs.metrics.snapshot(), sort_keys=True)
+        return result_to_json(result), metrics
+
+    straight = DDoSim(config, observatory=Observatory())
+    straight_bytes = run_serialized(straight)
+    if every is None:
+        # Aim for ~3 ticks inside the run that just finished.
+        every = max(1.0, straight.sim.now / 4.0)
+    directory = tempfile.mkdtemp(prefix="repro-verify-resume-")
+    try:
+        checkpointed = DDoSim(config, observatory=Observatory())
+        CheckpointWriter(directory, every).arm(checkpointed)
+        checkpointed_bytes = run_serialized(checkpointed)
+        resumed = resume_run(directory, observatory=Observatory())
+        resumed_bytes = (
+            result_to_json(resumed.result),
+            json.dumps(resumed.ddosim.obs.metrics.snapshot(), sort_keys=True),
+        )
+        ticks = len(resumed.writer.verified)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    for name, other in (("checkpointed", checkpointed_bytes),
+                        ("resumed", resumed_bytes)):
+        if other != straight_bytes:
+            which = "result" if other[0] != straight_bytes[0] else "metrics"
+            return CheckResult(
+                name="resume", identical=False, compared=ticks,
+                divergence=first_divergence(
+                    straight_bytes[0 if which == "result" else 1].splitlines(),
+                    other[0 if which == "result" else 1].splitlines(),
+                ),
+                detail=f"{name} run's {which} bytes differ from straight run",
+            )
+    return CheckResult(
+        name="resume", identical=True, compared=ticks,
+        detail=f"straight == checkpointed == resumed "
+               f"({ticks} barrier(s) verified on replay)",
+    )
+
+
 def verify_determinism(
     config=None,
     devs_grid: Sequence[int] = (2, 4),
     seed: int = 1,
     jobs: int = 4,
     flow: str = "off",
+    resume: bool = False,
 ) -> DeterminismReport:
     """The full gate: double-run trace identity + jobs row identity.
 
@@ -234,4 +311,6 @@ def verify_determinism(
     report.checks.append(verify_double_run(config))
     report.checks.append(verify_jobs(devs_grid=devs_grid, seed=seed, jobs=jobs,
                                      base_config=base_config))
+    if resume:
+        report.checks.append(verify_resume(seed=seed, flow=flow))
     return report

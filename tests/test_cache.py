@@ -10,10 +10,12 @@ recomputing them.
 import dataclasses
 import json
 import os
+import time
 
 import pytest
 
 from repro.cache import CachedRun, RunCache, code_salt, run_key
+from repro.parallel import QuarantinedPoint, Supervision
 from repro.core.config import SimulationConfig
 from repro.core.resources import ResourceReport
 from repro.core.results import (
@@ -287,6 +289,85 @@ class TestRunCached:
         ]
         # All three points were committed from the parent process.
         assert RunCache(root=warm_root).stats()["entries"] == 3
+
+
+def _hanging_point(config):
+    """Sweep point that hangs on the poison seed (module-level so the
+    supervised workers can pickle it under spawn)."""
+    if config.seed == 99:
+        time.sleep(60)
+    return fake_point(config)
+
+
+class TestQuarantinedSweep:
+    def test_poison_point_is_quarantined_and_never_cached(self, tmp_path):
+        cache = RunCache(root=str(tmp_path / "c"))
+        configs = [tiny_config(seed=seed) for seed in (1, 99, 3)]
+        supervision = Supervision(point_timeout=1.0, retries=0,
+                                  backoff_base=0.05)
+        results = run_cached(_hanging_point, configs, jobs=2, cache=cache,
+                             supervision=supervision)
+        poison = results[1]
+        assert isinstance(poison, QuarantinedPoint)
+        assert poison.index == 1  # re-keyed from miss position to grid slot
+        assert poison.reason == "timeout"
+        assert results[0].extra["tag"] == 2
+        assert results[2].extra["tag"] == 2
+        # The completed points were committed; the quarantined one was
+        # not, so the next sweep retries exactly that slot.
+        fresh = RunCache(root=str(tmp_path / "c"))
+        assert fresh.get(configs[0]) is not None
+        assert fresh.get(configs[1]) is None
+        assert fresh.get(configs[2]) is not None
+        rerun = run_cached(fake_point, configs,
+                           cache=RunCache(root=str(tmp_path / "c")))
+        assert not any(isinstance(r, QuarantinedPoint) for r in rerun)
+        assert [r.extra["tag"] for r in rerun] == [2, 2, 2]
+
+
+# ----------------------------------------------------------------------
+# stats.json hardening
+# ----------------------------------------------------------------------
+class TestStatsHardening:
+    def test_interrupted_persist_keeps_old_stats_and_no_temp(
+        self, tmp_path, monkeypatch
+    ):
+        root = str(tmp_path / "c")
+        cache = RunCache(root=root)
+        cache.session_misses = 2
+        cache.commit_session()
+        stats_path = os.path.join(root, "stats.json")
+        with open(stats_path, encoding="utf-8") as handle:
+            before = handle.read()
+
+        def explode(*_args, **_kwargs):
+            raise KeyboardInterrupt  # ^C mid-serialization
+
+        cache.session_hits = 7
+        monkeypatch.setattr(json, "dump", explode)
+        with pytest.raises(KeyboardInterrupt):
+            cache.commit_session()
+        monkeypatch.undo()
+        with open(stats_path, encoding="utf-8") as handle:
+            assert handle.read() == before  # rename never happened
+        leftovers = [name for name in os.listdir(root)
+                     if name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_torn_stats_file_recovers_to_defaults(self, tmp_path):
+        root = str(tmp_path / "c")
+        cache = RunCache(root=root)
+        os.makedirs(root, exist_ok=True)
+        with open(os.path.join(root, "stats.json"), "w",
+                  encoding="utf-8") as handle:
+            handle.write('{"hits": 3, "mis')  # torn non-atomic write
+        stats = cache.stats()
+        assert stats["hits"] == 0  # unreadable -> clean slate
+        cache.session_hits = 1
+        cache.commit_session()
+        with open(os.path.join(root, "stats.json"),
+                  encoding="utf-8") as handle:
+            assert json.load(handle)["hits"] == 1
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,232 @@
+"""Checkpoint/restore (repro.checkpoint): result-neutral barriers,
+byte-identical resume, divergence localization, atomic files.
+
+The contract under test is the hard one from DESIGN.md: a run that is
+checkpointed — and a run that is killed and *resumed* from a checkpoint
+— must serialize to exactly the same result JSON and metrics snapshot
+as the uninterrupted run, across the packet path, the fluid-flow
+crossover modes, packet trains, fault plans, and churn.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointDivergence,
+    CheckpointError,
+    CheckpointWriter,
+    capture_fingerprint,
+    diff_fingerprints,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    resume_run,
+    state_digest,
+    write_checkpoint,
+)
+from repro.core.config import SimulationConfig
+from repro.core.framework import DDoSim
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import Observatory
+from repro.serialization import result_to_json
+
+
+def _config(**overrides):
+    base = dict(n_devs=3, seed=5, attack_duration=20.0, sim_duration=160.0)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def _run_bytes(ddosim):
+    """(result JSON, canonical metrics JSON) after running ``ddosim``."""
+    result = ddosim.run()
+    return (
+        result_to_json(result),
+        json.dumps(ddosim.obs.metrics.snapshot(), sort_keys=True),
+    )
+
+
+#: a plan whose link faults straddle the checkpoint barriers, so the
+#: mid-link-down / mid-degrade state must replay exactly
+_FAULT_PLAN = FaultPlan(
+    faults=(
+        FaultSpec(kind="link_down", target="dev*", at=30.0, duration=20.0,
+                  pick=1),
+        FaultSpec(kind="link_degrade", target="dev*", at=25.0, duration=30.0,
+                  loss_rate=0.05),
+    )
+)
+
+_HARD_CASES = {
+    "packet": _config(),
+    "flow-auto": _config(flood_flow="auto"),
+    "flow-all": _config(flood_flow="all"),
+    "train": _config(flood_train=8),
+    "faults": _config(faults=_FAULT_PLAN),
+    "churn-faults-flow": _config(churn="dynamic", flood_flow="auto",
+                                 faults=_FAULT_PLAN),
+}
+
+
+class TestResumeByteIdentity:
+    @pytest.mark.parametrize("case", sorted(_HARD_CASES))
+    def test_checkpointed_and_resumed_match_straight(self, case, tmp_path):
+        config = _HARD_CASES[case]
+        straight = _run_bytes(DDoSim(config, observatory=Observatory()))
+
+        checkpointed_sim = DDoSim(config, observatory=Observatory())
+        writer = CheckpointWriter(str(tmp_path), 25.0).arm(checkpointed_sim)
+        checkpointed = _run_bytes(checkpointed_sim)
+        assert checkpointed == straight, \
+            "checkpoint barriers changed result bytes"
+        assert writer.written, "no checkpoint fired before the run ended"
+
+        resumed = resume_run(str(tmp_path), observatory=Observatory())
+        resumed_bytes = (
+            result_to_json(resumed.result),
+            json.dumps(resumed.ddosim.obs.metrics.snapshot(), sort_keys=True),
+        )
+        assert resumed_bytes == straight, "resume drifted from straight run"
+        assert resumed.writer.verified == writer.written, \
+            "replay must verify every stored barrier"
+
+    def test_seed_grid_property(self, tmp_path):
+        """snapshot -> restore -> run == straight, across a seed grid."""
+        for seed in (2, 3, 4):
+            config = SimulationConfig(n_devs=2, seed=seed,
+                                      attack_duration=10.0,
+                                      sim_duration=120.0)
+            straight = _run_bytes(DDoSim(config, observatory=Observatory()))
+            directory = str(tmp_path / f"seed{seed}")
+            checkpointed_sim = DDoSim(config, observatory=Observatory())
+            CheckpointWriter(directory, 15.0).arm(checkpointed_sim)
+            assert _run_bytes(checkpointed_sim) == straight
+            resumed = resume_run(directory, observatory=Observatory())
+            assert result_to_json(resumed.result) == straight[0]
+
+    def test_resume_from_single_file_anchor(self, tmp_path):
+        config = _config()
+        sim = DDoSim(config, observatory=Observatory())
+        writer = CheckpointWriter(str(tmp_path), 25.0).arm(sim)
+        expected = _run_bytes(sim)
+        first_tick, first_path = list_checkpoints(str(tmp_path))[0]
+        resumed = resume_run(first_path, observatory=Observatory())
+        assert result_to_json(resumed.result) == expected[0]
+        assert resumed.checkpoint["tick"] == first_tick
+        assert writer.written[0] == first_tick
+
+
+class TestDivergenceDetection:
+    def test_tampered_fingerprint_is_localized(self, tmp_path):
+        sim = DDoSim(_config(), observatory=Observatory())
+        CheckpointWriter(str(tmp_path), 25.0).arm(sim)
+        sim.run()
+        tick, path = list_checkpoints(str(tmp_path))[-1]
+        payload = load_checkpoint(path)
+        payload["fingerprint"]["sink"] = "0" * 64
+        payload["root"] = state_digest(payload["fingerprint"])
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(CheckpointDivergence) as excinfo:
+            resume_run(str(tmp_path), observatory=Observatory())
+        assert excinfo.value.tick == tick
+        assert "sink" in excinfo.value.subsystems
+        assert "scheduler" not in excinfo.value.subsystems
+
+    def test_fingerprint_diff_names_only_changed_subsystems(self):
+        left = {"clock": "a", "sink": "b"}
+        right = {"clock": "a", "sink": "c", "extra": "d"}
+        assert diff_fingerprints(left, right) == ["extra", "sink"]
+
+
+class TestCheckpointFiles:
+    def test_write_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        payload = {"version": CHECKPOINT_VERSION, "tick": 1,
+                   "fingerprint": {"clock": "x"},
+                   "root": state_digest({"clock": "x"})}
+        path = write_checkpoint(str(tmp_path), payload)
+        assert os.path.basename(path) == "checkpoint-1.json"
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+        assert load_checkpoint(path)["tick"] == 1
+
+    def test_failed_write_cleans_its_temp_file(self, tmp_path):
+        payload = {"version": CHECKPOINT_VERSION, "tick": 2,
+                   "fingerprint": {}, "root": state_digest({}),
+                   "poison": object()}  # not JSON-serializable
+        with pytest.raises(TypeError):
+            write_checkpoint(str(tmp_path), payload)
+        assert [name for name in os.listdir(tmp_path)
+                if name.endswith(".tmp")] == []
+        assert not os.path.exists(tmp_path / "checkpoint-2.json")
+
+    def test_version_mismatch_is_rejected(self, tmp_path):
+        payload = {"version": CHECKPOINT_VERSION + 1, "tick": 1,
+                   "fingerprint": {}, "root": state_digest({})}
+        path = tmp_path / "checkpoint-1.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(str(path))
+
+    def test_corrupted_root_is_rejected(self, tmp_path):
+        payload = {"version": CHECKPOINT_VERSION, "tick": 1,
+                   "fingerprint": {"clock": "x"}, "root": "not-the-hash"}
+        path = tmp_path / "checkpoint-1.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="root hash"):
+            load_checkpoint(str(path))
+
+    def test_code_salt_gate_refuses_foreign_checkpoints(self, tmp_path):
+        sim = DDoSim(SimulationConfig(n_devs=2, seed=1, attack_duration=10.0,
+                                      sim_duration=120.0),
+                     observatory=Observatory())
+        CheckpointWriter(str(tmp_path), 15.0).arm(sim)
+        sim.run()
+        _tick, path = list_checkpoints(str(tmp_path))[-1]
+        payload = load_checkpoint(path)
+        payload["code_salt"] = "f" * 64
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(CheckpointError, match="different repro code"):
+            resume_run(path)
+
+    def test_latest_checkpoint_resolution(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            latest_checkpoint(str(tmp_path))
+        with pytest.raises(CheckpointError, match="no such checkpoint"):
+            latest_checkpoint(str(tmp_path / "missing"))
+        for tick in (1, 3, 2):
+            fingerprint = {"clock": str(tick)}
+            write_checkpoint(str(tmp_path), {
+                "version": CHECKPOINT_VERSION, "tick": tick,
+                "fingerprint": fingerprint,
+                "root": state_digest(fingerprint),
+            })
+        assert latest_checkpoint(str(tmp_path)).endswith("checkpoint-3.json")
+
+    def test_writer_rejects_nonpositive_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointWriter(str(tmp_path), 0.0)
+
+
+class TestFingerprintDeterminism:
+    def test_identical_builds_fingerprint_identically(self):
+        config = SimulationConfig(n_devs=2, seed=9, attack_duration=10.0,
+                                  sim_duration=120.0)
+        left = capture_fingerprint(DDoSim(config, observatory=Observatory()))
+        right = capture_fingerprint(DDoSim(config, observatory=Observatory()))
+        assert left == right
+
+    def test_different_seed_fingerprints_differently(self):
+        base = dict(n_devs=2, attack_duration=10.0, sim_duration=120.0)
+        left = capture_fingerprint(
+            DDoSim(SimulationConfig(seed=1, **base), observatory=Observatory())
+        )
+        right = capture_fingerprint(
+            DDoSim(SimulationConfig(seed=2, **base), observatory=Observatory())
+        )
+        assert diff_fingerprints(left, right)

@@ -8,11 +8,17 @@ aggregate exactly.
 """
 
 import dataclasses
+import os
+import signal
+import time
 
 import pytest
 
 from repro.core.config import SimulationConfig
 from repro.parallel import (
+    QuarantinedPoint,
+    Supervision,
+    SweepTelemetry,
     default_jobs,
     merge_metric_snapshots,
     run_configs,
@@ -88,6 +94,117 @@ class TestSweepEquivalence:
             jobs=2,
         )
         assert serial == parallel
+
+
+def _hang_on_two(value):
+    if value == 2:
+        time.sleep(60)
+    return value * 10
+
+
+def _die_once(item):
+    value, flag = item
+    if value == 1 and not os.path.exists(flag):
+        open(flag, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value + 100
+
+
+def _always_die(_value):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _play_dead(value):
+    if value == 0:
+        import repro.parallel as parallel_module
+
+        # Worker-side test hook: stop heartbeating but stay alive, so
+        # only stale-heartbeat detection (not process death) can save us.
+        parallel_module._heartbeat_suppressed.set()
+        time.sleep(60)
+    return value
+
+
+def _boom(value):
+    if value == 1:
+        raise ValueError("bad point")
+    return value
+
+
+class TestSupervisionPolicy:
+    def test_backoff_is_capped_exponential(self):
+        sup = Supervision(backoff_base=0.25, backoff_cap=8.0)
+        assert [sup.backoff(n) for n in (1, 2, 3, 6, 10)] == [
+            0.25, 0.5, 1.0, 8.0, 8.0,
+        ]
+
+    def test_quarantine_arms_with_point_timeout(self):
+        assert not Supervision().quarantines
+        assert Supervision(point_timeout=5.0).quarantines
+        assert not Supervision(point_timeout=5.0, quarantine=False).quarantines
+        assert Supervision(quarantine=True).quarantines
+
+    def test_hang_detection_arms_with_point_timeout(self):
+        assert Supervision().effective_hung_after is None
+        assert Supervision(point_timeout=5.0).effective_hung_after == 5.0
+        assert Supervision(hung_after=2.0).effective_hung_after == 2.0
+
+
+class TestSupervisedExecution:
+    def test_timeout_quarantines_only_the_poison_point(self):
+        sup = Supervision(point_timeout=1.0, retries=1, backoff_base=0.05)
+        results = run_map(_hang_on_two, [0, 1, 2, 3], jobs=2, supervision=sup)
+        assert results[0] == 0 and results[1] == 10 and results[3] == 30
+        poison = results[2]
+        assert isinstance(poison, QuarantinedPoint)
+        assert poison.index == 2
+        assert poison.reason == "timeout"
+        assert poison.attempts == 2  # original try + one retry
+
+    def test_worker_death_retries_once_by_default(self, tmp_path):
+        flag = str(tmp_path / "died-once")
+        items = [(value, flag) for value in range(3)]
+        assert run_map(_die_once, items, jobs=2) == [100, 101, 102]
+        assert os.path.exists(flag), "the worker must actually have died"
+
+    def test_exhausted_retries_raise_without_quarantine(self):
+        sup = Supervision(retries=1, backoff_base=0.05)
+        with pytest.raises(RuntimeError, match="worker_death"):
+            run_map(_always_die, [0], jobs=2, supervision=sup)
+
+    def test_hung_worker_detected_by_stale_heartbeat(self):
+        sup = Supervision(point_timeout=30.0, retries=0, hung_after=1.0,
+                          backoff_base=0.05)
+        results = run_map(_play_dead, [0, 1], jobs=2, supervision=sup)
+        assert isinstance(results[0], QuarantinedPoint)
+        assert results[0].reason == "hung"
+        assert results[1] == 1
+
+    def test_point_exception_propagates_like_serial(self):
+        with pytest.raises(ValueError, match="bad point"):
+            run_map(_boom, [0, 1], jobs=2)
+
+    def test_serial_path_honors_point_timeout(self):
+        # A timeout policy cannot be enforced in-process, so jobs=1
+        # must still route through a supervised worker.
+        sup = Supervision(point_timeout=1.0, retries=0)
+        results = run_map(_hang_on_two, [2], jobs=1, supervision=sup)
+        assert isinstance(results[0], QuarantinedPoint)
+
+    def test_telemetry_records_retries_and_quarantine(self, capsys):
+        telemetry = SweepTelemetry(label="t", quiet=True)
+        telemetry.begin(2, 2)
+        sup = Supervision(point_timeout=1.0, retries=1, backoff_base=0.05)
+        run_map(_hang_on_two, [0, 2], jobs=2, supervision=sup,
+                telemetry=telemetry)
+        summary = telemetry.finish()
+        assert summary["quarantined"] == [1]
+        assert summary["retries"] >= 1
+        kinds = [note["kind"] for note in telemetry.recorder.recent()]
+        assert "sweep.point_retry" in kinds
+        assert "sweep.quarantine" in kinds
+        err = capsys.readouterr().err
+        assert "QUARANTINED" in err  # forced through quiet mode
 
 
 class TestMergeMetricSnapshots:
