@@ -88,6 +88,10 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--faults",
                         help="JSON fault plan to arm against the run "
                              "(see repro.faults.FaultPlan)")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="partition this ONE run across N processes "
+                             "(repro.netsim.shard); results are byte-"
+                             "identical to --shards 1")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
@@ -253,21 +257,55 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
         else:
             config = _config_from_args(args)
-            ddosim = DDoSim(config, observatory=observatory)
-            if checkpoint_every:
-                from repro.checkpoint import (
-                    DEFAULT_CHECKPOINT_DIR,
-                    CheckpointWriter,
-                )
+            shards = getattr(args, "shards", 1) or 1
+            if shards > 1:
+                from repro.checkpoint import DEFAULT_CHECKPOINT_DIR
+                from repro.netsim.shard import run_sharded
 
-                writer = CheckpointWriter(
-                    getattr(args, "checkpoint_dir", None)
-                    or DEFAULT_CHECKPOINT_DIR,
-                    checkpoint_every,
+                if trace_out:
+                    print(
+                        "error: --shards cannot be combined with "
+                        "--trace-out (the tracer is per-process; run "
+                        "--shards 1 for traces — results are identical)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                sharded = run_sharded(
+                    config, shards,
+                    observatory=observatory,
+                    checkpoint_dir=(
+                        (getattr(args, "checkpoint_dir", None)
+                         or DEFAULT_CHECKPOINT_DIR)
+                        if checkpoint_every else None
+                    ),
+                    checkpoint_every=checkpoint_every,
                     kill_after=getattr(args, "kill_after_checkpoint", None),
                 )
-                writer.arm(ddosim)
-            result = ddosim.run()
+                ddosim, result = sharded.ddosim, sharded.result
+                stats = sharded.stats
+                print(
+                    f"sharded: {stats['workers']} worker(s), "
+                    f"{stats['sync_rounds']} sync rounds, "
+                    f"{stats['handoffs_up'] + stats['handoffs_down']} "
+                    f"cross-shard hand-offs",
+                    file=sys.stderr,
+                )
+            else:
+                ddosim = DDoSim(config, observatory=observatory)
+                if checkpoint_every:
+                    from repro.checkpoint import (
+                        DEFAULT_CHECKPOINT_DIR,
+                        CheckpointWriter,
+                    )
+
+                    writer = CheckpointWriter(
+                        getattr(args, "checkpoint_dir", None)
+                        or DEFAULT_CHECKPOINT_DIR,
+                        checkpoint_every,
+                        kill_after=getattr(args, "kill_after_checkpoint", None),
+                    )
+                    writer.arm(ddosim)
+                result = ddosim.run()
     except KeyboardInterrupt:
         if ddosim is not None:
             _dump_interrupt(ddosim)
@@ -496,6 +534,10 @@ def _chaos_run_flags(args: argparse.Namespace) -> List[str]:
     ]
     if getattr(args, "faults", None):
         flags += ["--faults", args.faults]
+    if getattr(args, "shards", 1) and args.shards > 1:
+        # The resume leg needs no flag: resume_run reads the shard count
+        # out of the checkpoint payload and replays at that partitioning.
+        flags += ["--shards", str(args.shards)]
     return flags
 
 
@@ -627,6 +669,7 @@ def cmd_verify_determinism(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         flow=args.flow,
         resume=args.resume,
+        shards=getattr(args, "shards", 0) or 0,
     )
     if args.format == "json":
         print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -854,6 +897,11 @@ def build_parser() -> argparse.ArgumentParser:
                                     "equivalence: checkpoint a run, "
                                     "resume it, compare result + metrics "
                                     "byte-for-byte")
+    verify_parser.add_argument("--shards", type=int, default=0, metavar="N",
+                               help="also prove sharded-engine parity: "
+                                    "one run partitioned across N worker "
+                                    "processes must produce byte-"
+                                    "identical result + metrics")
     verify_parser.add_argument("--format", choices=("text", "json"),
                                default="text")
     verify_parser.set_defaults(func=cmd_verify_determinism)

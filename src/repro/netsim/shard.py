@@ -1,0 +1,955 @@
+"""Sharded simulation engine: one run, many cores, byte-identical results.
+
+A conservative parallel discrete-event engine for :class:`DDoSim` runs.
+The star topology (paper §III-D) gives every Dev its own point-to-point
+access link with a fixed propagation delay — that delay is a hard lower
+bound on how far in virtual time one side of a link can affect the
+other, i.e. a *lookahead* in the classical CMB (Chandy–Misra–Bryant)
+sense.  This module partitions ONE simulation across worker processes:
+
+* **Replicated build, partitioned execution.**  Every rank builds the
+  complete DDoSim object graph identically (all build-time RNG draws are
+  replicated), then only *starts* the components it owns.  The parent
+  rank owns the star hub, Attacker, TServer and the orchestrator; worker
+  rank ``r`` owns Dev containers ``i`` with ``i % W == r - 1``.
+* **Single cut point.**  :meth:`PointToPointChannel.transmit` hands
+  packets crossing a shard boundary to a per-link :class:`_LinkBridge`
+  after all sender-side accounting ran; the owning rank schedules the
+  receive at the exact ``now + delay`` float the single-process path
+  would have used.
+* **Conservative windows.**  The coordinator grants aligned execution
+  windows bounded by ``min(all horizons) + lookahead``; cross-shard
+  hand-offs are sorted by a deterministic ``(arrival, lane, seq)`` key
+  so same-instant deliveries replay identically run after run.
+* **Byte-identical results.**  Counters merge exactly (integer sums),
+  replicated events are *neutral* (they refund ``events_executed``),
+  remote container state is patched back before collection — so the
+  result JSON and metrics snapshot of ``--shards N`` match ``--shards
+  1`` byte for byte.  Equal-time cross-device event orderings may differ
+  between ranks and the single process; those orderings are invisible in
+  results (aggregate counters, per-device RNG streams) by construction.
+* **Composable checkpoints.**  Window bounds clamp to checkpoint ticks;
+  at each barrier every rank fingerprints its replica and the
+  coordinator writes one composed ``rank{r}/{subsystem}`` tree, so
+  ``repro chaos`` kill/resume round-trips work for sharded runs too.
+
+Restrictions (validated up front): the default star topology only, no
+``loss_rate`` fault overrides (per-packet Bernoulli draws cannot be
+partitioned), no instrumented observatory (tracer/profiler are
+per-process), and the announcement lead times (``attack_settle_delay``,
+``attack_duration + cooldown``) must exceed four lookaheads.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import signal
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, NULL_INSTRUMENT
+from repro.obs.observatory import Observatory
+
+
+class ShardError(RuntimeError):
+    """Sharded-engine configuration or runtime failure."""
+
+
+class ShardProtocolError(ShardError):
+    """A rank violated the ownership protocol (e.g. transmitted on a
+    link direction it does not own)."""
+
+
+#: counter families that replay on EVERY rank (replicated churn epochs,
+#: fault records); workers mute them so only the parent's copy counts.
+_WORKER_MUTED = frozenset((
+    "churn_departures_total",
+    "churn_rejoins_total",
+    "faults_injected_total",
+))
+
+#: lane direction indices (second element of a lane tuple)
+_LANE_UP = 0    # dev host -> star router (worker -> parent)
+_LANE_DOWN = 1  # star router -> dev host (parent -> worker)
+
+
+def _default_handoff_key(entry) -> tuple:
+    """Deterministic cross-shard delivery order: (arrival, lane, seq)."""
+    return (entry[0], entry[1], entry[2])
+
+
+def _rss_kib() -> int:
+    """This process's peak RSS in KiB (Linux ``ru_maxrss`` unit)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class _MutedRegistry(MetricsRegistry):
+    """Worker-rank registry: muted families hand out the null instrument
+    (and are therefore absent from the worker's snapshot), everything
+    else behaves normally.  ``NULL_INSTRUMENT.labels()`` returns itself,
+    which also covers the labeled ``faults_injected_total`` family."""
+
+    def counter(self, name, help="", labels=()):
+        if name in _WORKER_MUTED:
+            return NULL_INSTRUMENT
+        return super().counter(name, help=help, labels=labels)
+
+
+class _LinkBridge:
+    """Shard boundary for one access link.
+
+    Installed as ``channel.shard_bridge``; :meth:`carry` runs instead of
+    the local receive scheduling.  ``local_sender`` is the only device
+    this rank may transmit from on this link (None poisons the link —
+    any transmit is a protocol violation).  Every carried packet gets a
+    per-lane monotonic sequence number; ``(arrival, lane, seq)`` is the
+    deterministic hand-off identity used for cross-shard ordering."""
+
+    __slots__ = ("channel", "local_sender", "lane", "outbox", "seq")
+
+    def __init__(self, channel, local_sender, lane: Tuple[int, int],
+                 outbox: list):
+        self.channel = channel
+        self.local_sender = local_sender
+        self.lane = lane
+        self.outbox = outbox
+        self.seq = 0
+        channel.shard_bridge = self
+
+    def carry(self, channel, sender, packet) -> None:
+        if sender is not self.local_sender:
+            name = getattr(sender, "name", repr(sender))
+            raise ShardProtocolError(
+                f"rank transmitted from unowned device {name} on lane "
+                f"{self.lane}"
+            )
+        self.seq += 1
+        arrival = channel.sim.now + channel.delay
+        # The outbox list is shared by reference with the rank's serve
+        # loop: append-only here, drained (copy + clear, never rebound)
+        # at each window boundary.
+        self.outbox.append((arrival, self.lane, self.seq, packet))
+
+
+class _StubFlow:
+    """What a worker-side bot holds after ``start_flow``: the real
+    :class:`FluidFlow` lives on the parent rank, so the stub's offered
+    totals stay zero — the parent reconstructs the bot's emission stats
+    from the real flow at stop time."""
+
+    __slots__ = ("key",)
+    offered_packets = 0
+
+    def __init__(self, key):
+        self.key = key
+
+
+class _FlowProxy:
+    """Worker-rank stand-in for ``sim.flows``.
+
+    Bots on worker-owned Devs call ``start_flow``/``stop_flow``; the
+    proxy records the operation (with its exact virtual time and a
+    deterministic ``(dev_index, flow_seq)`` key) for the coordinator to
+    replay on the parent's real :class:`FlowEngine` at the same instant.
+    Link-change epochs are no-ops here — all fluid state is parent-side.
+    """
+
+    def __init__(self, dev_index_of: Dict[int, int]):
+        #: id(node) -> dev index for op attribution
+        self._dev_index_of = dev_index_of
+        self._flow_seq = 0
+        self.ops: List[tuple] = []
+        self._sim = None
+
+    def bind(self, sim) -> "_FlowProxy":
+        self._sim = sim
+        sim.flows = self
+        return self
+
+    def start_flow(self, node, destination, dst_port, src_port, rate_bps,
+                   payload_size, packet_size, span=None) -> _StubFlow:
+        index = self._dev_index_of.get(id(node))
+        if index is None:
+            raise ShardProtocolError(
+                f"flow started from unowned node {getattr(node, 'name', node)}"
+            )
+        self._flow_seq += 1
+        self.ops.append((
+            "start", self._sim.now, index, self._flow_seq, destination,
+            dst_port, src_port, rate_bps, payload_size, packet_size, span,
+        ))
+        return _StubFlow((index, self._flow_seq))
+
+    def stop_flow(self, flow) -> None:
+        if not isinstance(flow, _StubFlow):
+            raise ShardProtocolError("stop_flow on a non-proxied flow")
+        index, flow_seq = flow.key
+        self.ops.append(("stop", self._sim.now, index, flow_seq))
+
+    def drain(self) -> List[tuple]:
+        ops = list(self.ops)
+        self.ops.clear()
+        return ops
+
+    # Epoch hooks: fluid state is parent-side; nothing to re-linearize.
+    def on_link_change(self) -> None:
+        pass
+
+    relinearize = on_link_change
+
+    def flush(self) -> None:
+        pass
+
+
+def _install_bridges(ddosim, outbox: list, rank: int, workers: int) -> None:
+    """Wire every Dev access link's shard boundary for this rank.
+
+    Parent (rank 0) owns the router side of every Dev link; worker ``r``
+    owns the host side of its Devs' links and poisons everything else
+    (non-owned Dev links and the Attacker/TServer links, which carry no
+    worker-side traffic by construction)."""
+    for dev in ddosim.devs.devs:
+        link = dev.link
+        if rank == 0:
+            _LinkBridge(link.channel, link.router_device,
+                        (dev.index, _LANE_DOWN), outbox)
+        elif dev.index % workers == rank - 1:
+            _LinkBridge(link.channel, link.host_device,
+                        (dev.index, _LANE_UP), outbox)
+        else:
+            _LinkBridge(link.channel, None, (dev.index, _LANE_UP), outbox)
+    if rank != 0:
+        _LinkBridge(ddosim.attacker.link.channel, None, (-1, _LANE_UP), outbox)
+        _LinkBridge(ddosim.tserver.link.channel, None, (-2, _LANE_UP), outbox)
+
+
+def shard_lookahead(config, plan=None) -> float:
+    """The engine's conservative lookahead: the minimum propagation delay
+    any cross-shard lane can ever have, including ``link_degrade`` delay
+    overrides a fault plan may apply mid-run."""
+    lookahead = config.dev_link_delay
+    if plan is not None:
+        for spec in plan.faults:
+            if spec.kind == "link_degrade" and spec.delay is not None:
+                lookahead = min(lookahead, spec.delay)
+    return lookahead
+
+
+def validate_shard_config(config, shards: int, observatory=None) -> float:
+    """Up-front rejection of configurations the sharded engine cannot
+    reproduce byte-identically.  Returns the lookahead."""
+    if shards < 2:
+        raise ShardError(f"sharded engine needs shards >= 2, got {shards}")
+    if observatory is not None and observatory.instrumented:
+        raise ShardError(
+            "sharded runs cannot use an instrumented observatory "
+            "(tracer/profiler are per-process); drop --trace-out"
+        )
+    plan = config.faults
+    if plan is not None:
+        for spec in plan.faults:
+            if spec.loss_rate is not None and spec.loss_rate > 0.0:
+                raise ShardError(
+                    "loss_rate fault overrides draw per-packet randomness "
+                    "from a shared stream and cannot be sharded"
+                )
+    lookahead = shard_lookahead(config, plan)
+    if lookahead <= 0.0:
+        raise ShardError(
+            "sharded engine needs a positive minimum link delay "
+            f"(lookahead), got {lookahead}"
+        )
+    margin = 4.0 * lookahead
+    if config.attack_settle_delay <= margin:
+        raise ShardError(
+            f"attack_settle_delay {config.attack_settle_delay} must exceed "
+            f"4x lookahead ({margin}) for probe announcements"
+        )
+    if config.attack_duration + config.cooldown <= margin:
+        raise ShardError(
+            f"attack_duration + cooldown must exceed 4x lookahead ({margin}) "
+            "for stop announcements"
+        )
+    return lookahead
+
+
+# ----------------------------------------------------------------------
+# Worker rank
+# ----------------------------------------------------------------------
+class _ShardWorker:
+    """One worker rank: a full DDoSim replica, executing only the events
+    of its owned Devs, driven in windows by the coordinator."""
+
+    def __init__(self, conn, config, rank: int, workers: int):
+        self.conn = conn
+        self.rank = rank
+        self.workers = workers
+        from repro.core.framework import DDoSim
+
+        self.ddosim = DDoSim(
+            config, observatory=Observatory(metrics=_MutedRegistry())
+        )
+        self.sim = self.ddosim.sim
+        self.outbox: List[tuple] = []
+        self.probe_values: List[Tuple[float, int]] = []
+        self.ddosim.build()
+        devs = self.ddosim.devs
+        self.owned = [
+            dev for dev in devs.devs if dev.index % workers == rank - 1
+        ]
+        self.proxy = None
+        if self.ddosim.flow_engine is not None:
+            self.proxy = _FlowProxy(
+                {id(dev.node): dev.index for dev in self.owned}
+            ).bind(self.sim)
+        _install_bridges(self.ddosim, self.outbox, rank, workers)
+        for dev in self.owned:
+            self.ddosim.runtime.start(dev.container)
+        # Replicated churn: same draws, same link toggles on every rank;
+        # neutral events so only the parent's count survives the merge.
+        if self.ddosim.static_churn is not None:
+            self.sim.schedule(0.05, self._apply_static_churn)
+        if self.ddosim.dynamic_churn is not None:
+            self.ddosim.dynamic_churn.start(
+                self.sim, devs.set_device_online,
+                until=config.sim_duration, neutral=True,
+            )
+        injector = self.ddosim.fault_injector
+        if injector is not None:
+            injector.event_neutral = True
+            owned_names = frozenset(dev.name for dev in self.owned)
+            injector.action_gate = (
+                lambda kind, name: name in owned_names
+            )
+            injector.arm()
+
+    def _apply_static_churn(self) -> None:
+        self.sim.events_executed -= 1
+        self.ddosim.static_churn.apply(
+            self.sim, self.ddosim.devs.set_device_online
+        )
+
+    def _probe(self, at: float) -> None:
+        """Replicated memory probe: owned running containers' RSS at the
+        exact announced instant (neutral event)."""
+        self.sim.events_executed -= 1
+        self.probe_values.append(
+            (at, self.ddosim.runtime.total_memory_bytes())
+        )
+
+    def serve(self) -> None:
+        """The window protocol: strict go/done alternation until EOF."""
+        conn = self.conn
+        conn.send(("ready", self.rank, self.sim.peek_next_time()))
+        devs = self.ddosim.devs.devs
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return  # coordinator gone (chaos kill / shutdown)
+            kind = message[0]
+            if kind == "go":
+                _, window, bound, inclusive, handoffs, probes = message
+                for at in probes:
+                    self.sim.schedule_bare_at(at, self._probe, at)
+                for arrival, lane, _seq, packet in handoffs:
+                    receiver = devs[lane[0]].link.host_device
+                    self.sim.schedule_bare_at(
+                        arrival, receiver.receive, packet
+                    )
+                self.sim.advance_until(bound, inclusive)
+                out = list(self.outbox)
+                self.outbox.clear()
+                ops = self.proxy.drain() if self.proxy is not None else []
+                values = list(self.probe_values)
+                self.probe_values.clear()
+                conn.send((
+                    "done", window, out, ops, values,
+                    self.sim.peek_next_time(),
+                ))
+            elif kind == "fingerprint":
+                from repro.checkpoint import capture_fingerprint
+
+                conn.send((
+                    "fp", message[1], capture_fingerprint(self.ddosim),
+                    self.sim.events_executed,
+                ))
+            elif kind == "finish":
+                conn.send(("final", self.rank, self._final_payload()))
+                return
+            else:  # pragma: no cover - defensive
+                raise ShardProtocolError(f"unknown message {kind!r}")
+
+    def _final_payload(self) -> dict:
+        ddosim = self.ddosim
+        owned_names = [dev.name for dev in self.owned]
+        return {
+            "offered": ddosim.devs.total_offered_attack(),
+            "queue_drops": ddosim.star.total_queue_drops(),
+            "containers": {
+                name: (
+                    ddosim.runtime.containers[name].state,
+                    ddosim.runtime.containers[name].memory_bytes(),
+                )
+                for name in owned_names
+            },
+            "counters": ddosim.obs.metrics.snapshot()["counters"],
+            "events": ddosim.sim.events_executed,
+            "rss_kib": _rss_kib(),
+        }
+
+
+def _shard_worker_main(conn, all_pipes, config, rank: int,
+                       workers: int) -> None:
+    """Worker process entry point.
+
+    ``all_pipes`` is every (parent_end, child_end) pair the coordinator
+    created; the forked child inherited them all, and any end left open
+    here would keep a sibling's — or the coordinator's — pipe alive
+    after its owner dies, turning crash detection (EOFError on recv)
+    into a deadlock.  Close everything except our own child end first.
+    """
+    for parent_end, child_end in all_pipes:
+        parent_end.close()
+        if child_end is not conn:
+            child_end.close()
+    worker = None
+    try:
+        worker = _ShardWorker(conn, config, rank, workers)
+        worker.serve()
+    except EOFError:
+        pass
+    except BaseException as error:  # ship the failure before dying
+        if worker is not None:
+            recorder = worker.ddosim.obs.recorder
+            if recorder is not None and recorder.enabled:
+                recorder.dump("shard.worker_error", worker.sim.now,
+                              rank=rank, error=repr(error))
+        import traceback
+
+        try:
+            conn.send(("err", rank, traceback.format_exc(), _rss_kib()))
+        except (OSError, BrokenPipeError):
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator (parent rank)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardCheckpointLog:
+    """Writer-shaped record of a sharded run's checkpoint activity."""
+
+    directory: str
+    every: float
+    written: List[int] = field(default_factory=list)
+    verified: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ShardedRun:
+    """A completed sharded (or degenerate single-process) run."""
+
+    result: object
+    ddosim: object
+    stats: dict
+    writer: Optional[object] = None
+
+
+class ShardCoordinator:
+    """Rank 0: owns hub/Attacker/TServer/orchestrator, grants windows,
+    relays hand-offs, merges worker state back for collection."""
+
+    def __init__(self, config, shards: int, *, observatory=None,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: Optional[float] = None,
+                 kill_after: Optional[int] = None,
+                 expected_fingerprints=None,
+                 handoff_key: Optional[Callable] = None,
+                 record_sync_trace: bool = False):
+        self.config = config
+        self.shards = shards
+        self.lookahead = validate_shard_config(config, shards, observatory)
+        self.workers = min(shards - 1, config.n_devs)
+        if self.workers < 1:
+            raise ShardError("sharded engine needs at least one Dev")
+        self.handoff_key = handoff_key or _default_handoff_key
+        self.record_sync_trace = record_sync_trace
+        self.sync_trace: List[str] = []
+        self.kill_after = kill_after
+        self.expected = dict(expected_fingerprints or {})
+        self.writer_log = None
+        self._ticks: List[Tuple[int, float]] = []
+        if checkpoint_dir is not None:
+            if not checkpoint_every or checkpoint_every <= 0:
+                raise ShardError(
+                    "checkpoint_dir needs a positive checkpoint_every"
+                )
+            self.writer_log = ShardCheckpointLog(
+                checkpoint_dir, float(checkpoint_every)
+            )
+            tick = 1
+            while tick * checkpoint_every < config.sim_duration:
+                self._ticks.append((tick, tick * checkpoint_every))
+                tick += 1
+        # Announcement state (filled by orchestrator hooks mid-window).
+        self._pending_probes: List[float] = []
+        self._stop_time: Optional[float] = None
+        self._remote_probe: Dict[float, int] = {}
+        # Flow-op replay state.
+        self._remote_flows: Dict[Tuple[int, int], object] = {}
+        self._remote_flow_packets = 0
+        self._remote_flow_bytes = 0
+        # Hand-off bookkeeping.
+        self.outbox: List[tuple] = []
+        self._pending_down: Dict[int, List[tuple]] = {
+            rank: [] for rank in range(1, self.workers + 1)
+        }
+        self.stats = {
+            "shards": shards,
+            "workers": self.workers,
+            "lookahead": self.lookahead,
+            "sync_rounds": 0,
+            "handoffs_up": 0,
+            "handoffs_down": 0,
+            "flow_ops": 0,
+            "worker_rss_kib": {},
+        }
+        self._conns: Dict[int, object] = {}
+        self._procs: Dict[int, object] = {}
+        self._horizons: Dict[int, Optional[float]] = {}
+        self.ddosim = None
+        self._observatory = observatory
+
+    # -- orchestrator hooks (called from inside parent sim events) -----
+    def announce_probe(self, at: float) -> None:
+        self._pending_probes.append(at)
+
+    def announce_stop(self, at: float) -> None:
+        self._stop_time = at
+
+    # -- transport ------------------------------------------------------
+    def _spawn_workers(self) -> None:
+        from repro.parallel import _mp_context
+
+        ctx = _mp_context()
+        pipes = [ctx.Pipe(duplex=True) for _ in range(self.workers)]
+        for rank in range(1, self.workers + 1):
+            parent_conn, child_conn = pipes[rank - 1]
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, pipes, self.config, rank, self.workers),
+                daemon=True,
+            )
+            process.start()
+            self._conns[rank] = parent_conn
+            self._procs[rank] = process
+        for _parent_conn, child_conn in pipes:
+            child_conn.close()
+
+    def _recv(self, rank: int):
+        try:
+            message = self._conns[rank].recv()
+        except (EOFError, OSError) as error:
+            self._worker_died(rank, repr(error))
+        if message[0] == "err":
+            self._worker_died(rank, message[2], rss_kib=message[3])
+        return message
+
+    def _worker_died(self, rank: int, detail: str, rss_kib=None):
+        recorder = getattr(self.ddosim, "obs", None)
+        recorder = recorder.recorder if recorder is not None else None
+        if recorder is not None and recorder.enabled:
+            now = self.ddosim.sim.now if self.ddosim is not None else 0.0
+            recorder.note("shard.worker_death", now, rank=rank)
+            recorder.dump("shard.worker_death", now, rank=rank,
+                          error=detail.splitlines()[-1] if detail else "")
+        raise ShardError(
+            f"shard worker {rank} died"
+            + (f" (peak RSS {rss_kib} KiB)" if rss_kib else "")
+            + f":\n{detail}"
+        )
+
+    # -- parent-rank setup ---------------------------------------------
+    def _build_parent(self) -> None:
+        from repro.core.framework import DDoSim
+        from repro.netsim.process import SimProcess
+
+        ddosim = DDoSim(self.config, observatory=self._observatory)
+        self.ddosim = ddosim
+        ddosim.shard_hooks = self
+        ddosim.build()
+        _install_bridges(ddosim, self.outbox, 0, self.workers)
+        ddosim.attacker.start()
+        ddosim.tserver.start()
+        # Parent runs the same replicated churn/fault schedule as the
+        # workers, but NON-neutrally: it is the counting rank.
+        if ddosim.static_churn is not None:
+            ddosim.sim.schedule(
+                0.05, ddosim.static_churn.apply, ddosim.sim,
+                ddosim.devs.set_device_online,
+            )
+        if ddosim.dynamic_churn is not None:
+            ddosim.dynamic_churn.start(
+                ddosim.sim, ddosim.devs.set_device_online,
+                until=self.config.sim_duration,
+            )
+        injector = ddosim.fault_injector
+        if injector is not None:
+            injector.action_gate = self._parent_acts
+            injector.arm()
+        # Pre-attack memory probe: the orchestrator's read at the probe
+        # instant must see the whole fleet, so remote (owned, running)
+        # container RSS folds into the runtime total at exactly that
+        # float timestamp.  Instance patch; removed before final export.
+        runtime = ddosim.runtime
+        from repro.container.runtime import ContainerRuntime
+
+        base = ContainerRuntime.total_memory_bytes
+        remote = self._remote_probe
+
+        def patched_total() -> int:
+            return base(runtime) + remote.get(ddosim.sim.now, 0)
+
+        runtime.total_memory_bytes = patched_total
+        SimProcess(ddosim.sim, ddosim._orchestrate(), name="orchestrator")
+
+    def _parent_acts(self, kind: str, name: str) -> bool:
+        if kind in ("cnc_outage", "sink_stall"):
+            return True
+        return name == "attacker"
+
+    # -- window protocol -----------------------------------------------
+    def _trace(self, window: int, direction: str, entry) -> None:
+        if self.record_sync_trace:
+            arrival, lane, seq = entry[0], entry[1], entry[2]
+            self.sync_trace.append(
+                f"w={window:06d} dir={direction} t={arrival:.9f} "
+                f"lane={lane[0]}:{lane[1]} seq={seq}"
+            )
+
+    def _apply_flow_op(self, op) -> None:
+        """Neutral parent event replaying one worker-recorded flow op on
+        the real engine at the exact instant the bot issued it."""
+        sim = self.ddosim.sim
+        sim.events_executed -= 1
+        engine = self.ddosim.flow_engine
+        if op[0] == "start":
+            (_, _t, index, flow_seq, destination, dst_port, src_port,
+             rate_bps, payload_size, packet_size, span) = op
+            flow = engine.start_flow(
+                self.ddosim.devs.devs[index].node, destination, dst_port,
+                src_port, rate_bps, payload_size, packet_size, span=span,
+            )
+            self._remote_flows[(index, flow_seq)] = flow
+        else:
+            flow = self._remote_flows.get((op[2], op[3]))
+            if flow is not None:
+                engine.stop_flow(flow)
+                # Mirror udp_plain_flow's stats read at stop time:
+                # packets_sent = offered_packets, bytes = n * wire size.
+                packets = flow.offered_packets
+                self._remote_flow_packets += packets
+                self._remote_flow_bytes += packets * flow.packet_size
+
+    def _integrate_dones(self, window: int) -> None:
+        """Receive every worker's done(window); schedule their hand-offs
+        and flow ops into the parent sim; bank probe values/horizons."""
+        sim = self.ddosim.sim
+        devs = self.ddosim.devs.devs
+        up: List[tuple] = []
+        ops: List[tuple] = []
+        for rank in range(1, self.workers + 1):
+            message = self._recv(rank)
+            if message[0] != "done" or message[1] != window:
+                raise ShardProtocolError(
+                    f"worker {rank}: expected done({window}), got {message[:2]}"
+                )
+            up.extend(message[2])
+            ops.extend(message[3])
+            for at, value in message[4]:
+                self._remote_probe[at] = self._remote_probe.get(at, 0) + value
+            self._horizons[rank] = message[5]
+        up.sort(key=self.handoff_key)
+        for entry in up:
+            self._trace(window, "up", entry)
+            arrival, lane, _seq, packet = entry
+            receiver = devs[lane[0]].link.router_device
+            sim.schedule_bare_at(arrival, receiver.receive, packet)
+        self.stats["handoffs_up"] += len(up)
+        # Worker flow ops interleave at their exact times; sorted by
+        # (t, dev_index, flow_seq) so same-instant starts replay in a
+        # deterministic order.
+        ops.sort(key=lambda op: (op[1], op[2], op[3]))
+        for op in ops:
+            sim.schedule_bare_at(op[1], self._apply_flow_op, op)
+        self.stats["flow_ops"] += len(ops)
+
+    def _advance_parent(self, bound: float, inclusive: bool = False) -> None:
+        """Execute the parent's (lagging) window, then route its freshly
+        carried packets toward their owning workers."""
+        self.ddosim.sim.advance_until(bound, inclusive)
+        if self.outbox:
+            for entry in self.outbox:
+                owner = (entry[1][0] % self.workers) + 1
+                self._pending_down[owner].append(entry)
+            self.outbox.clear()
+
+    def _compute_bound(self, granted: float) -> float:
+        horizon = self.ddosim.sim.peek_next_time()
+        low = horizon if horizon is not None else float("inf")
+        for value in self._horizons.values():
+            if value is not None and value < low:
+                low = value
+        for entries in self._pending_down.values():
+            for entry in entries:
+                if entry[0] < low:
+                    low = entry[0]
+        bound = low + self.lookahead
+        if self._ticks:
+            bound = min(bound, self._ticks[0][1])
+        if self._stop_time is not None:
+            bound = min(bound, self._stop_time)
+        bound = min(bound, self.config.sim_duration)
+        return max(bound, granted)
+
+    def _send_go(self, window: int, bound: float) -> None:
+        probes = list(self._pending_probes)
+        self._pending_probes.clear()
+        for rank in range(1, self.workers + 1):
+            batch = self._pending_down[rank]
+            batch.sort(key=self.handoff_key)
+            for entry in batch:
+                self._trace(window, "down", entry)
+            self.stats["handoffs_down"] += len(batch)
+            self._conns[rank].send(("go", window, bound, False, batch, probes))
+            self._pending_down[rank] = []
+
+    def _barrier(self, tick: int, at: float) -> None:
+        """Checkpoint barrier: every rank fingerprints at the tick; the
+        coordinator composes and persists one rank-prefixed tree."""
+        from repro.cache import code_salt
+        from repro.checkpoint import (
+            CheckpointDivergence,
+            capture_fingerprint,
+            diff_fingerprints,
+            state_digest,
+            write_checkpoint,
+        )
+        from repro.serialization import config_to_dict
+
+        composed: Dict[str, str] = {}
+        for key, value in capture_fingerprint(self.ddosim).items():
+            composed[f"rank0/{key}"] = value
+        total_events = self.ddosim.sim.events_executed
+        for rank in range(1, self.workers + 1):
+            self._conns[rank].send(("fingerprint", tick))
+        for rank in range(1, self.workers + 1):
+            message = self._recv(rank)
+            if message[0] != "fp" or message[1] != tick:
+                raise ShardProtocolError(
+                    f"worker {rank}: expected fp({tick}), got {message[:2]}"
+                )
+            for key, value in message[2].items():
+                composed[f"rank{rank}/{key}"] = value
+            total_events += message[3]
+        expected = self.expected.get(tick)
+        if expected is not None:
+            mismatched = diff_fingerprints(expected, composed)
+            if mismatched:
+                raise CheckpointDivergence(tick, mismatched)
+            self.writer_log.verified.append(tick)
+        payload = {
+            "version": 1,
+            "code_salt": code_salt(),
+            "config": config_to_dict(self.config),
+            "every": self.writer_log.every,
+            "tick": tick,
+            "t": at,
+            "shards": self.shards,
+            "events_executed": total_events,
+            "fingerprint": composed,
+            "root": state_digest(composed),
+        }
+        write_checkpoint(self.writer_log.directory, payload)
+        self.writer_log.written.append(tick)
+        recorder = self.ddosim.obs.recorder
+        if recorder is not None and recorder.enabled:
+            recorder.note("checkpoint.write", at, tick=tick, shards=self.shards)
+        if self.kill_after is not None and tick == self.kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def run(self):
+        """Drive the whole sharded run; returns the merged RunResult."""
+        self._spawn_workers()
+        try:
+            self._build_parent()
+            for rank in range(1, self.workers + 1):
+                message = self._recv(rank)
+                if message[0] != "ready":
+                    raise ShardProtocolError(
+                        f"worker {rank}: expected ready, got {message[0]!r}"
+                    )
+                self._horizons[rank] = message[2]
+            result = self._window_loop()
+            return result
+        finally:
+            for conn in self._conns.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            for process in self._procs.values():
+                process.join(timeout=5)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=5)
+
+    def _window_loop(self):
+        sim = self.ddosim.sim
+        window = 0
+        granted = 0.0
+        barrier_tick: Optional[Tuple[int, float]] = None
+        while True:
+            if window > 0:
+                self._integrate_dones(window)
+            if barrier_tick is not None:
+                tick, at = barrier_tick
+                barrier_tick = None
+                # Catch the parent up to the tick so the composed tree
+                # reflects one consistent virtual instant on every rank.
+                self._advance_parent(at)
+                self._ticks.pop(0)
+                self._barrier(tick, at)
+            if self._stop_time is not None and granted >= self._stop_time:
+                self._advance_parent(self._stop_time, inclusive=True)
+                break
+            if granted >= self.config.sim_duration:
+                self._advance_parent(self.config.sim_duration, inclusive=True)
+                until = self.config.sim_duration
+                if not sim._stopped and sim._now < until:
+                    sim._now = until
+                break
+            bound = self._compute_bound(granted)
+            window += 1
+            self.stats["sync_rounds"] = window
+            self._send_go(window, bound)
+            # The lagging parent window: everything the workers already
+            # executed past was granted with this window's hand-offs
+            # still pending, so the parent can safely run to the
+            # previous bound while the workers run to the new one.
+            self._advance_parent(granted)
+            if self._ticks and bound == self._ticks[0][1]:
+                barrier_tick = self._ticks[0]
+            granted = bound
+        return self._finalize()
+
+    # -- merge + collection --------------------------------------------
+    def _merge_counters(self, shipped: Dict[str, Dict[str, float]]) -> None:
+        registry = self.ddosim.obs.metrics
+        for name, children in shipped.items():
+            for label_key, value in children.items():
+                if not value:
+                    continue
+                family = registry.families.get(name)
+                if family is None:
+                    names = tuple(
+                        part.split("=", 1)[0]
+                        for part in label_key.split(",")
+                    ) if label_key else ()
+                    family = registry._family(name, "counter", "", names)
+                values = tuple(
+                    part.split("=", 1)[1] for part in label_key.split(",")
+                ) if label_key else ()
+                family.labels(*values).inc(value)
+
+    def _finalize(self):
+        ddosim = self.ddosim
+        # Export must use the plain per-container computation (patched
+        # replica states below make it exact); drop the probe patch.
+        del ddosim.runtime.total_memory_bytes
+        for rank in range(1, self.workers + 1):
+            self._conns[rank].send(("finish",))
+        extra_bytes = self._remote_flow_bytes
+        extra_packets = self._remote_flow_packets
+        extra_drops = 0
+        total_remote_events = 0
+        for rank in range(1, self.workers + 1):
+            message = self._recv(rank)
+            if message[0] != "final":
+                raise ShardProtocolError(
+                    f"worker {rank}: expected final, got {message[0]!r}"
+                )
+            payload = message[2]
+            offered_bytes, offered_packets = payload["offered"]
+            extra_bytes += offered_bytes
+            extra_packets += offered_packets
+            extra_drops += payload["queue_drops"]
+            for name, (state, memory) in payload["containers"].items():
+                container = ddosim.runtime.containers[name]
+                container.state = state
+                container._memory_override = memory
+            self._merge_counters(payload["counters"])
+            total_remote_events += payload["events"]
+            self.stats["worker_rss_kib"][rank] = payload["rss_kib"]
+        devs_base = ddosim.devs.total_offered_attack
+        ddosim.devs.total_offered_attack = lambda: (
+            devs_base()[0] + extra_bytes, devs_base()[1] + extra_packets,
+        )
+        star_base = ddosim.star.total_queue_drops
+        ddosim.star.total_queue_drops = lambda: star_base() + extra_drops
+        ddosim.sim.events_executed += total_remote_events
+        if self.record_sync_trace:
+            self.stats["sync_trace"] = list(self.sync_trace)
+        return ddosim._collect()
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_sharded(config, shards: int = 1, *, observatory=None,
+                checkpoint_dir: Optional[str] = None,
+                checkpoint_every: Optional[float] = None,
+                kill_after: Optional[int] = None,
+                expected_fingerprints=None,
+                handoff_key: Optional[Callable] = None,
+                record_sync_trace: bool = False) -> ShardedRun:
+    """Run one simulation on ``shards`` processes (1 = plain in-process).
+
+    The degenerate ``shards <= 1`` path builds and runs an ordinary
+    :class:`DDoSim` (with a standard :class:`CheckpointWriter` when
+    checkpointing is requested), so callers can treat the shard count as
+    a pure performance knob with one uniform interface."""
+    if shards <= 1:
+        from repro.core.framework import DDoSim
+
+        ddosim = DDoSim(config, observatory=observatory)
+        writer = None
+        if checkpoint_dir is not None:
+            from repro.checkpoint import CheckpointWriter
+
+            writer = CheckpointWriter(
+                checkpoint_dir, checkpoint_every,
+                expected=expected_fingerprints, kill_after=kill_after,
+            )
+            writer.arm(ddosim)
+        result = ddosim.run()
+        return ShardedRun(
+            result=result, ddosim=ddosim,
+            stats={"shards": 1, "workers": 0, "sync_rounds": 0},
+            writer=writer,
+        )
+    coordinator = ShardCoordinator(
+        config, shards, observatory=observatory,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+        kill_after=kill_after, expected_fingerprints=expected_fingerprints,
+        handoff_key=handoff_key, record_sync_trace=record_sync_trace,
+    )
+    result = coordinator.run()
+    return ShardedRun(
+        result=result, ddosim=coordinator.ddosim,
+        stats=coordinator.stats, writer=coordinator.writer_log,
+    )

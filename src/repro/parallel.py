@@ -43,6 +43,7 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import resource
 import sys
 import threading
 import time
@@ -99,6 +100,11 @@ def _mp_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+def _peak_rss_kib() -> int:
+    """This process's peak RSS in KiB (Linux ``ru_maxrss`` unit)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def _invoke_indexed_timed(task):
@@ -223,18 +229,21 @@ def _supervised_worker(conn, fn, heartbeat_interval: float) -> None:
                 value = fn(item)
             except BaseException as exc:
                 elapsed = time.monotonic() - t0  # simlint: disable=SIM101
+                rss = _peak_rss_kib()
                 try:
-                    message = ("err", index, exc, elapsed)
+                    message = ("err", index, exc, elapsed, rss)
                     with send_lock:
                         conn.send(message)
                 except Exception:
                     # The exception itself didn't pickle; degrade to repr.
                     with send_lock:
-                        conn.send(("err", index, RuntimeError(repr(exc)), elapsed))
+                        conn.send(
+                            ("err", index, RuntimeError(repr(exc)), elapsed, rss)
+                        )
                 continue
             elapsed = time.monotonic() - t0  # simlint: disable=SIM101
             with send_lock:
-                conn.send(("ok", index, value, elapsed))
+                conn.send(("ok", index, value, elapsed, _peak_rss_kib()))
     finally:
         stop.set()
         conn.close()
@@ -246,7 +255,8 @@ def _supervised_worker(conn, fn, heartbeat_interval: float) -> None:
 class _WorkerSlot:
     """Parent-side bookkeeping for one supervised worker process."""
 
-    __slots__ = ("process", "conn", "index", "started", "last_beat")
+    __slots__ = ("process", "conn", "index", "started", "last_beat",
+                 "rss_kib")
 
     def __init__(self, process, conn):
         self.process = process
@@ -254,6 +264,7 @@ class _WorkerSlot:
         self.index: Optional[int] = None  # grid index in flight, if any
         self.started = 0.0
         self.last_beat = 0.0
+        self.rss_kib: Optional[int] = None  # last peak RSS it reported
 
 
 def _spawn_worker(ctx, fn, heartbeat_interval: float) -> _WorkerSlot:
@@ -360,8 +371,12 @@ def _supervised_map(
 
     def on_death(slot: _WorkerSlot, detail: str) -> None:
         index = slot.index
+        rss_kib = slot.rss_kib
         slot.index = None
         replace_worker(slot)
+        if telemetry is not None:
+            # Every worker death leaves a post-mortem, retried or not.
+            telemetry.worker_lost(index, detail, rss_kib=rss_kib)
         if index is not None:
             fail_attempt(index, "worker_death", detail)
 
@@ -421,20 +436,22 @@ def _supervised_map(
                     slot.last_beat = monotonic()
                     continue
                 index, value, elapsed = message[1], message[2], message[3]
+                rss_kib = message[4] if len(message) > 4 else None
                 slot.index = None
                 slot.last_beat = monotonic()
+                slot.rss_kib = rss_kib
                 if kind == "err":
                     # The point fn itself raised: deterministic, so a
                     # retry would raise again — surface it (with the
                     # telemetry post-mortem) exactly like the serial
                     # path would.
                     if telemetry is not None:
-                        telemetry.worker_died(value)
+                        telemetry.worker_died(value, rss_kib=rss_kib)
                     raise value
                 results[index] = value
                 completed += 1
                 if telemetry is not None:
-                    telemetry.point_done(index, elapsed)
+                    telemetry.point_done(index, elapsed, rss_kib=rss_kib)
                 if on_complete is not None:
                     on_complete(index, value)
             # Deadline scan: wall-clock overruns and stale heartbeats.
@@ -506,7 +523,7 @@ def run_map(
         for index, item in enumerate(items):
             if telemetry is not None:
                 _index, value, elapsed = _invoke_indexed_timed((index, fn, item))
-                telemetry.point_done(index, elapsed)
+                telemetry.point_done(index, elapsed, rss_kib=_peak_rss_kib())
             else:
                 value = fn(item)
             if on_complete is not None:
@@ -591,6 +608,8 @@ class SweepTelemetry:
         self.quarantined: List[int] = []
         self.retries: List[Tuple[int, int, str]] = []
         self.last_summary: Optional[dict] = None
+        #: highest per-worker peak RSS reported so far (KiB, ru_maxrss)
+        self.peak_rss_kib: Optional[int] = None
         self._elapsed: List[float] = []
         self._t0 = 0.0
 
@@ -632,16 +651,26 @@ class SweepTelemetry:
         self._line(f"point {index}: cache hit{suffix} "
                    f"[{self.done}/{self.total}]")
 
-    def point_done(self, index: int, elapsed: float) -> None:
+    def _track_rss(self, rss_kib: Optional[int]) -> str:
+        if rss_kib is None:
+            return ""
+        if self.peak_rss_kib is None or rss_kib > self.peak_rss_kib:
+            self.peak_rss_kib = rss_kib
+        return f", rss {rss_kib / 1024.0:.0f}MiB"
+
+    def point_done(self, index: int, elapsed: float,
+                   rss_kib: Optional[int] = None) -> None:
         self.done += 1
         self.computed += 1
         self._elapsed.append(elapsed)
+        rss_text = self._track_rss(rss_kib)
         t = self._now()
         span = self.spans.start("sweep.point", t - elapsed,
                                 entity=str(index), source="computed")
         self.spans.end(span, t, elapsed=round(elapsed, 6))
         self.recorder.note("sweep.point_done", t, index=index,
-                           elapsed=round(elapsed, 3))
+                           elapsed=round(elapsed, 3),
+                           **({"rss_kib": rss_kib} if rss_kib else {}))
         straggler = ""
         if len(self._elapsed) >= 3:
             median = sorted(self._elapsed)[len(self._elapsed) // 2]
@@ -651,7 +680,7 @@ class SweepTelemetry:
         eta = self._eta()
         eta_text = f", eta {eta:.0f}s" if eta is not None else ""
         self._line(f"point {index}: computed in {elapsed:.1f}s "
-                   f"[{self.done}/{self.total}{eta_text}]{straggler}")
+                   f"[{self.done}/{self.total}{eta_text}]{rss_text}{straggler}")
 
     def point_retried(self, index: int, attempt: int, reason: str,
                       delay: float) -> None:
@@ -674,11 +703,36 @@ class SweepTelemetry:
                    f"attempt(s) ({reason}) [{self.done}/{self.total}]",
                    force=True)
 
-    def worker_died(self, error: BaseException) -> None:
+    def worker_died(self, error: BaseException,
+                    rss_kib: Optional[int] = None) -> None:
+        self._track_rss(rss_kib)
         t = self._now()
-        self.recorder.note("sweep.worker_death", t, error=repr(error))
-        dump = self.recorder.dump("sweep.worker_death", t, error=repr(error))
+        extra = {"rss_kib": rss_kib} if rss_kib else {}
+        self.recorder.note("sweep.worker_death", t, error=repr(error), **extra)
+        dump = self.recorder.dump("sweep.worker_death", t, error=repr(error),
+                                  **extra)
         self._line(f"worker died: {error!r}", force=True)
+        if dump is not None:
+            self._line(f"flight recorder: {len(dump['notes'])} notes "
+                       f"preserved for post-mortem", force=True)
+
+    def worker_lost(self, index: Optional[int], detail: str,
+                    rss_kib: Optional[int] = None) -> None:
+        """A supervised worker process died mid-sweep (pipe EOF, kill,
+        silent exit).  Unlike :meth:`worker_died` this is non-fatal —
+        the point is retried — but it still force-dumps the flight
+        recorder so even a survived death leaves its post-mortem."""
+        self._track_rss(rss_kib)
+        t = self._now()
+        extra = {"rss_kib": rss_kib} if rss_kib else {}
+        if index is not None:
+            extra["index"] = index
+        self.recorder.note("sweep.worker_lost", t, detail=detail, **extra)
+        dump = self.recorder.dump("sweep.worker_lost", t, detail=detail,
+                                  **extra)
+        rss_text = (f", last peak rss {rss_kib / 1024.0:.0f}MiB"
+                    if rss_kib else "")
+        self._line(f"worker lost ({detail}){rss_text}", force=True)
         if dump is not None:
             self._line(f"flight recorder: {len(dump['notes'])} notes "
                        f"preserved for post-mortem", force=True)
@@ -704,6 +758,8 @@ class SweepTelemetry:
             "retries": len(self.retries),
             "wall_seconds": round(t, 3),
         }
+        if self.peak_rss_kib is not None:
+            summary["peak_rss_kib"] = self.peak_rss_kib
         self.recorder.note("sweep.finish", t, **{
             key: value for key, value in summary.items()
             if key not in ("stragglers", "quarantined")
@@ -712,8 +768,10 @@ class SweepTelemetry:
                           if self.stragglers else "")
         quarantine_text = (f", QUARANTINED: {self.quarantined}"
                            if self.quarantined else "")
+        rss_text = (f", peak worker rss {self.peak_rss_kib / 1024.0:.0f}MiB"
+                    if self.peak_rss_kib is not None else "")
         self._line(f"done: {self.cached} cached + {self.computed} computed "
-                   f"of {self.total} in {t:.1f}s"
+                   f"of {self.total} in {t:.1f}s{rss_text}"
                    f"{straggler_text}{quarantine_text}",
                    force=bool(self.quarantined))
         self.last_summary = summary

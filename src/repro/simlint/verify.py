@@ -282,6 +282,64 @@ def verify_resume(
     )
 
 
+def verify_shards(
+    config=None,
+    shards: int = 2,
+    seed: int = 1,
+    flow: str = "off",
+) -> CheckResult:
+    """Sharded-engine parity as a determinism check.
+
+    One config, run single-process and again partitioned across
+    ``shards`` worker processes (:func:`repro.netsim.shard.run_sharded`);
+    the serialized result and the metrics snapshot must match byte for
+    byte.  A divergence is localized to the first differing line of
+    whichever artifact drifted — the conservative window protocol is
+    only correct if NO line can differ.
+    """
+    from repro.netsim.shard import run_sharded
+    from repro.serialization import result_to_json
+
+    if config is None:
+        from repro.core.config import SimulationConfig
+
+        config = SimulationConfig(n_devs=4, seed=seed, flood_flow=flow,
+                                  attack_duration=30.0, sim_duration=200.0)
+
+    def run_serialized(n: int) -> Tuple[str, str, dict]:
+        run = run_sharded(config, n)
+        metrics = json.dumps(run.ddosim.obs.metrics.snapshot(),
+                             sort_keys=True, indent=2)
+        return result_to_json(run.result), metrics, run.stats
+
+    single_result, single_metrics, _stats = run_serialized(1)
+    sharded_result, sharded_metrics, stats = run_serialized(shards)
+    name = f"shards 1-vs-{shards}"
+    compared = len(single_result.splitlines()) + len(single_metrics.splitlines())
+    if sharded_result != single_result:
+        return CheckResult(
+            name=name, identical=False, compared=compared,
+            divergence=first_divergence(
+                single_result.splitlines(), sharded_result.splitlines()
+            ),
+            detail="sharded run's serialized result differs",
+        )
+    if sharded_metrics != single_metrics:
+        return CheckResult(
+            name=name, identical=False, compared=compared,
+            divergence=first_divergence(
+                single_metrics.splitlines(), sharded_metrics.splitlines()
+            ),
+            detail="results identical but metrics snapshots differ",
+        )
+    return CheckResult(
+        name=name, identical=True, compared=compared,
+        detail=(f"result+metrics bit-identical across "
+                f"{stats['workers']} worker(s), "
+                f"{stats['sync_rounds']} sync rounds"),
+    )
+
+
 def verify_determinism(
     config=None,
     devs_grid: Sequence[int] = (2, 4),
@@ -289,13 +347,15 @@ def verify_determinism(
     jobs: int = 4,
     flow: str = "off",
     resume: bool = False,
+    shards: int = 0,
 ) -> DeterminismReport:
     """The full gate: double-run trace identity + jobs row identity.
 
     ``flow`` puts the fluid-flow datapath under the same contract: the
     checked config (and the sweep's base config) run with that crossover
     mode, so ``verify-determinism --flow all`` proves the analytic
-    solver is as bit-stable as the packet path.
+    solver is as bit-stable as the packet path.  ``shards >= 2`` adds
+    the sharded-engine parity check at that shard count.
     """
     base_config = None
     if config is None:
@@ -313,4 +373,7 @@ def verify_determinism(
                                      base_config=base_config))
     if resume:
         report.checks.append(verify_resume(seed=seed, flow=flow))
+    if shards >= 2:
+        report.checks.append(verify_shards(shards=shards, seed=seed,
+                                           flow=flow))
     return report

@@ -1,0 +1,229 @@
+"""Sharded simulation engine: byte-identity, protocol, and chaos tests.
+
+The contract under test (repro.netsim.shard): partitioning ONE run
+across N worker processes changes wall-clock only — the serialized
+RunResult and the metrics snapshot are byte-identical to the
+single-process run, cross-shard hand-off ordering is deterministic and
+observable (sync traces), and checkpoint fingerprint trees compose
+across ranks so kill/resume round-trips survive sharding.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.faults import FaultPlan, FaultSpec
+from repro.netsim.shard import (
+    ShardError,
+    run_sharded,
+    shard_lookahead,
+    validate_shard_config,
+)
+from repro.serialization import result_to_json
+from repro.simlint.verify import first_divergence
+
+
+def _fast_config(**overrides):
+    base = dict(n_devs=4, seed=3, attack_duration=30.0, sim_duration=200.0)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def _run_bytes(config, shards):
+    run = run_sharded(config, shards)
+    metrics = json.dumps(run.ddosim.obs.metrics.snapshot(), sort_keys=True)
+    return result_to_json(run.result), metrics
+
+
+#: per-flow-mode single-process baselines, computed once per session
+_BASELINES = {}
+
+
+def _baseline(flow):
+    if flow not in _BASELINES:
+        _BASELINES[flow] = _run_bytes(_fast_config(flood_flow=flow), 1)
+    return _BASELINES[flow]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("flow", ["off", "auto", "all"])
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_matches_single_process(self, flow, shards):
+        assert _run_bytes(_fast_config(flood_flow=flow), shards) == \
+            _baseline(flow)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_train_datapath_matches_single_process(self, shards):
+        config = _fast_config(flood_train=8)
+        assert _run_bytes(config, shards) == _run_bytes(config, 1)
+
+    def test_more_shards_than_devs_clamps_to_fleet(self):
+        # 4 Devs, 9 shards: worker count clamps to the fleet size.
+        run = run_sharded(_fast_config(), 9)
+        assert run.stats["workers"] == 4
+        metrics = json.dumps(run.ddosim.obs.metrics.snapshot(),
+                             sort_keys=True)
+        assert (result_to_json(run.result), metrics) == _baseline("off")
+
+    def test_shards_one_is_the_plain_path(self):
+        run = run_sharded(_fast_config(), 1)
+        assert run.stats == {"shards": 1, "workers": 0, "sync_rounds": 0}
+        assert run.writer is None
+
+    def test_sharded_run_reports_worker_stats(self):
+        run = run_sharded(_fast_config(), 2)
+        assert run.stats["workers"] == 1
+        assert run.stats["sync_rounds"] > 0
+        assert run.stats["handoffs_up"] > 0
+        assert run.stats["handoffs_down"] > 0
+        assert run.stats["worker_rss_kib"][1] > 0
+
+
+class TestFaultPlanParity:
+    PLAN = FaultPlan(faults=(
+        FaultSpec(kind="crash_restart", target="dev", at=60.0, pick=1,
+                  restart_after=20.0),
+        FaultSpec(kind="link_flap", target="dev", at=50.0, duration=4.0,
+                  count=2, period=15.0),
+        FaultSpec(kind="link_degrade", target="dev", at=80.0, duration=25.0,
+                  delay=0.05, pick=2),
+        FaultSpec(kind="cnc_outage", target="attacker", at=40.0,
+                  duration=10.0),
+        FaultSpec(kind="sink_stall", target="tserver", at=120.0,
+                  duration=5.0),
+        FaultSpec(kind="memory_kill", target="dev", at=100.0, pick=1),
+    ))
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_faulted_run_is_byte_identical(self, shards):
+        single = _run_bytes(_fast_config(faults=self.PLAN, seed=5), 1)
+        sharded = _run_bytes(_fast_config(faults=self.PLAN, seed=5), shards)
+        assert sharded == single
+
+    def test_faults_with_flow_and_churn(self):
+        config = _fast_config(faults=self.PLAN, seed=5, flood_flow="auto",
+                              churn="dynamic")
+        assert _run_bytes(config, 2) == _run_bytes(config, 1)
+
+
+class TestValidation:
+    def test_loss_rate_override_rejected(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="link_degrade", target="dev", at=10.0,
+                      duration=5.0, loss_rate=0.1),
+        ))
+        with pytest.raises(ShardError, match="loss_rate"):
+            run_sharded(_fast_config(faults=plan), 2)
+
+    def test_instrumented_observatory_rejected(self):
+        from repro.obs import Observatory
+
+        with pytest.raises(ShardError, match="instrumented"):
+            run_sharded(_fast_config(), 2, observatory=Observatory.full())
+
+    def test_lookahead_includes_degrade_overrides(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="link_degrade", target="dev", at=10.0,
+                      duration=5.0, delay=0.005),
+        ))
+        config = _fast_config(faults=plan)
+        assert shard_lookahead(config, plan) == 0.005
+        assert shard_lookahead(_fast_config(), None) == \
+            _fast_config().dev_link_delay
+
+    def test_announcement_margin_enforced(self):
+        config = _fast_config(attack_settle_delay=0.05)
+        with pytest.raises(ShardError, match="attack_settle_delay"):
+            validate_shard_config(config, 2)
+
+    def test_shards_below_two_rejected_by_validator(self):
+        with pytest.raises(ShardError, match="shards >= 2"):
+            validate_shard_config(_fast_config(), 1)
+
+
+class TestSyncTraceLocalization:
+    """A wrong cross-shard tie-break key must be *localized*: the sync
+    traces of a correct and an injected-wrong run diverge at the first
+    reordered hand-off, and the divergence line names the virtual-time
+    tick (``t=``) where delivery order first changed — even when the
+    aggregate results happen not to differ for this seed."""
+
+    @staticmethod
+    def _trace(handoff_key=None):
+        run = run_sharded(
+            _fast_config(seed=3), 4,
+            handoff_key=handoff_key, record_sync_trace=True,
+        )
+        return run.stats["sync_trace"]
+
+    def test_wrong_tie_break_key_is_localized_to_a_tick(self):
+        good = self._trace()
+        # Coarsened arrival time: hand-offs within the same 10ms bucket
+        # collapse into false ties and re-sort by lane — a protocol bug
+        # of exactly the class the deterministic key exists to prevent.
+        bad = self._trace(
+            handoff_key=lambda entry: (round(entry[0], 2), entry[1], entry[2])
+        )
+        divergence = first_divergence(good, bad)
+        assert divergence is not None
+        line = divergence.left or divergence.right
+        assert " t=" in line    # the tick where order first changed
+        assert "lane=" in line  # and which link lane carried it
+
+    def test_correct_key_traces_are_reproducible(self):
+        assert first_divergence(self._trace(), self._trace()) is None
+
+
+class TestShardedCheckpoints:
+    def test_barrier_ticks_match_single_process_writer(self, tmp_path):
+        single_dir, sharded_dir = tmp_path / "one", tmp_path / "two"
+        single = run_sharded(_fast_config(), 1,
+                             checkpoint_dir=str(single_dir),
+                             checkpoint_every=40.0)
+        sharded = run_sharded(_fast_config(), 2,
+                              checkpoint_dir=str(sharded_dir),
+                              checkpoint_every=40.0)
+        assert sharded.writer.written == single.writer.written
+        assert result_to_json(sharded.result) == result_to_json(single.result)
+
+    def test_checkpoint_payload_composes_rank_trees(self, tmp_path):
+        from repro.checkpoint import latest_checkpoint, load_checkpoint
+
+        run_sharded(_fast_config(), 2, checkpoint_dir=str(tmp_path),
+                    checkpoint_every=40.0)
+        payload = load_checkpoint(latest_checkpoint(str(tmp_path)))
+        assert payload["shards"] == 2
+        prefixes = {name.split("/", 1)[0] for name in payload["fingerprint"]}
+        assert prefixes == {"rank0", "rank1"}
+
+    def test_resume_replays_sharded_and_verifies(self, tmp_path):
+        from repro.checkpoint import resume_run
+
+        base = run_sharded(_fast_config(), 2, checkpoint_dir=str(tmp_path),
+                           checkpoint_every=40.0)
+        resumed = resume_run(str(tmp_path))
+        assert resumed.writer.verified  # every stored tick re-verified
+        assert result_to_json(resumed.result) == result_to_json(base.result)
+
+    def test_resume_rejects_drifted_fingerprints(self, tmp_path):
+        from repro.checkpoint import (
+            CheckpointDivergence,
+            latest_checkpoint,
+            load_checkpoint,
+            state_digest,
+            write_checkpoint,
+        )
+
+        run_sharded(_fast_config(), 2, checkpoint_dir=str(tmp_path),
+                    checkpoint_every=40.0)
+        path = latest_checkpoint(str(tmp_path))
+        payload = load_checkpoint(path)
+        payload["fingerprint"]["rank1/rng"] = "0" * 64
+        payload["root"] = state_digest(payload["fingerprint"])
+        write_checkpoint(str(tmp_path), payload)
+        from repro.checkpoint import resume_run
+
+        with pytest.raises(CheckpointDivergence) as excinfo:
+            resume_run(str(tmp_path))
+        assert "rank1/rng" in excinfo.value.subsystems
