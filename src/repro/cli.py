@@ -19,8 +19,11 @@ Commands:
 * ``chaos``       — crash-recovery proof: run a scenario straight, then
   SIGKILL an identical run right after a seeded checkpoint, resume it,
   and require byte-identical results.
-* ``lint``        — determinism linter (``repro.simlint``): SIM1xx rules
-  over sim code; nonzero exit on violations (the CI gate).
+* ``lint``        — determinism linter (``repro.simlint``): SIM1xx file
+  rules plus the SIM2xx whole-program shard-safety rules; nonzero exit
+  on violations (the CI gate).  ``--fix`` applies mechanical rewrites,
+  ``--diff BASE`` lints only changed files, ``--baseline FILE``
+  subtracts recorded findings.
 * ``verify-determinism`` — execute the determinism contract: one config
   twice (first diverging trace event on mismatch) and a figure2 sweep
   at ``--jobs 1`` vs ``--jobs N`` (rows must be byte-identical).
@@ -642,14 +645,54 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the determinism linter; exit 1 when violations remain."""
     from repro.simlint import format_json, format_text, lint_paths
+    from repro.simlint.engine import changed_python_files
+    from repro.simlint.reporting import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
 
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
+    paths = args.paths
+    if args.diff:
+        try:
+            paths = changed_python_files(args.diff, paths)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(f"clean: no python files changed vs {args.diff}")
+            return 0
+    if args.fix:
+        from repro.simlint.fix import FIXABLE_CODES, fix_paths
+
+        fix_select = (
+            [code for code in select if code in FIXABLE_CODES]
+            if select is not None else None
+        )
+        fixed, changed = fix_paths(paths, select=fix_select)
+        for filename in changed:
+            print(f"fixed: {filename}", file=sys.stderr)
+        if fixed:
+            print(f"{fixed} fix(es) applied to {len(changed)} file(s)",
+                  file=sys.stderr)
     try:
-        violations = lint_paths(args.paths, select=select, ignore=ignore)
+        violations = lint_paths(paths, select=select, ignore=ignore)
     except ValueError as exc:  # unknown --select/--ignore code
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.write_baseline:
+        write_baseline(violations, args.write_baseline)
+        print(f"baseline: {len(violations)} finding(s) -> "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+    if args.baseline:
+        try:
+            violations = apply_baseline(violations, load_baseline(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"error: baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
     if args.format == "json":
         print(format_json(violations))
     else:
@@ -863,7 +906,9 @@ def build_parser() -> argparse.ArgumentParser:
         action_parser.set_defaults(func=cmd_cache)
 
     lint_parser = commands.add_parser(
-        "lint", help="determinism linter (SIM1xx rules; repro.simlint)"
+        "lint",
+        help="determinism + shard-safety linter (SIM1xx/SIM2xx; "
+             "repro.simlint)",
     )
     lint_parser.add_argument("paths", nargs="*", default=["src/repro"],
                              help="files/directories to lint "
@@ -873,6 +918,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--select",
                              help="comma-separated rule codes to run "
                                   "(default: all)")
+    lint_parser.add_argument("--fix", action="store_true",
+                             help="apply mechanical fixes (SIM104 mutable "
+                                  "defaults, SIM108 unused imports) before "
+                                  "reporting")
+    lint_parser.add_argument("--diff", metavar="BASE",
+                             help="lint only files changed vs this git ref "
+                                  "(the pre-commit fast path)")
+    lint_parser.add_argument("--baseline", metavar="FILE",
+                             help="subtract findings recorded in this "
+                                  "baseline JSON; only new violations fail")
+    lint_parser.add_argument("--write-baseline", metavar="FILE",
+                             help="snapshot current findings to FILE and "
+                                  "exit 0")
     lint_parser.add_argument("--ignore",
                              help="comma-separated rule codes to skip")
     lint_parser.set_defaults(func=cmd_lint)

@@ -9,7 +9,7 @@ kbps Dev links ("an average range for such devices in real life"), a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 CHURN_NONE = "none"

@@ -39,7 +39,7 @@ from __future__ import annotations
 import fnmatch
 import json
 import random
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Tuple
 
 FAULT_LINK_DOWN = "link_down"

@@ -61,13 +61,135 @@ class ShardProtocolError(ShardError):
     link direction it does not own)."""
 
 
-#: counter families that replay on EVERY rank (replicated churn epochs,
-#: fault records); workers mute them so only the parent's copy counts.
-_WORKER_MUTED = frozenset((
-    "churn_departures_total",
-    "churn_rejoins_total",
-    "faults_injected_total",
-))
+#: Machine-readable shard-safety contract — the single source of truth
+#: for WHO may touch WHAT across ranks.  Two consumers, one literal:
+#:
+#: * the static analyzer (``repro.simlint.shardcheck``, rules
+#:   SIM201–SIM205) reads it with ``ast.literal_eval`` — it never
+#:   imports the code it lints — so every value below must stay a pure
+#:   literal (no names, calls, or comprehensions);
+#: * the runtime :class:`~repro.simlint.runtime.ShardAccessAuditor`
+#:   imports it directly to tag owned objects per rank.
+#:
+#: Patterns use the ``repro.simlint.symbols`` match syntax:
+#: ``"pkg.mod:Class.method"`` (exact, nested defs included via prefix),
+#: ``"Class.method"`` (any module) or ``"Class"`` (whole class).
+SHARD_CONTRACT = {
+    "version": 1,
+    # Execution roots.  ``worker_roots`` is everything a worker rank
+    # actually *executes*: the serve loop (which schedules hand-off
+    # receives into the dev-side datapath), the replicated neutral
+    # events, and the event code of worker-owned components (bots,
+    # exploited services, container processes).  ``build_roots`` is the
+    # replicated build phase, which runs identically on every rank and
+    # is therefore exempt from ownership checks.
+    "worker_roots": [
+        "repro.netsim.shard:_ShardWorker.serve",
+        "repro.netsim.shard:_ShardWorker._probe",
+        "repro.netsim.shard:_ShardWorker._apply_static_churn",
+        "repro.netsim.shard:_ShardWorker._final_payload",
+        "repro.core.churn:DynamicChurn.start.epoch",
+        "repro.faults:FaultInjector._acts",
+        "repro.botnet.bot:mirai_program",
+        "repro.botnet.bot:_dispatch",
+        "repro.container.process:ContainerProcess",
+    ],
+    "coordinator_roots": [
+        "repro.netsim.shard:ShardCoordinator.run",
+        "repro.netsim.shard:ShardCoordinator._window_loop",
+    ],
+    "build_roots": [
+        "repro.netsim.shard:_ShardWorker.__init__",
+        "repro.core.framework:DDoSim.build",
+    ],
+    # The only legal cross-rank channels.  Functions matching these
+    # patterns may touch state they do not own: that is their job.
+    "handoff_channels": [
+        "repro.netsim.shard:_LinkBridge",
+        "repro.netsim.shard:_FlowProxy",
+        "repro.netsim.shard:_MutedRegistry",
+        "repro.netsim.shard:_ShardWorker._final_payload",
+        "repro.netsim.shard:ShardCoordinator",
+    ],
+    # Rank-0-owned object surfaces, by the attribute names worker code
+    # would reach them through (SIM201 seeds its taint on reads of
+    # these).  ``star`` totals are read-only on workers; mutation of
+    # any of these outside a hand-off channel is a violation.
+    "rank0_owned_attrs": [
+        "flow_engine", "orchestrator", "attacker", "tserver", "star",
+    ],
+    # Method names that mutate their receiver (for SIM201's "call on an
+    # owned object" check; attribute/subscript stores always count).
+    "mutating_methods": [
+        "start_flow", "stop_flow", "start", "stop", "arm", "inject",
+        "schedule", "send", "set", "inc", "dec", "observe", "append",
+        "push", "add", "clear", "update", "pop",
+    ],
+    # Counter families that replay on EVERY rank (replicated churn
+    # epochs, fault records): workers mute them so only the parent's
+    # copy counts.  SIM203 rejects any increment of these outside the
+    # declared replicated sites — such an increment would exist only on
+    # worker ranks and silently vanish from the merged snapshot.
+    "worker_muted_counters": [
+        "churn_departures_total",
+        "churn_rejoins_total",
+        "faults_injected_total",
+    ],
+    # Code that runs IDENTICALLY on all ranks (replicated schedules):
+    # its draws and muted-counter increments are parent-authoritative.
+    "replicated_sites": [
+        "repro.core.churn:StaticChurn",
+        "repro.core.churn:DynamicChurn",
+        "repro.core.churn:_ChurnBase",
+        "repro.faults:FaultInjector",
+        "repro.netsim.shard:_ShardWorker",
+    ],
+    # Gauge/histogram families the merge patch deliberately does NOT
+    # ship (gauges never sum).  Each entry must say why the parent's
+    # copy is already exact; SIM203 flags any unlisted family mutated
+    # on a worker path.
+    "unmerged_families_ok": {
+        "devs_online": "replicated churn: every rank applies the same "
+                       "epochs, parent copy is the fleet truth",
+        "bots_connected": "C&C runs on rank 0; connects are seen there",
+        "distinct_recruits": "C&C-side gauge, rank 0 only",
+        "tserver_rx_bytes_total": "TServer sink is rank-0-owned",
+        "container_memory_bytes": "worker container state is patched "
+                                  "back before export (_finalize)",
+        "active_flows": "flow engine is rank-0-owned; workers proxy",
+    },
+    # Named RNG streams (the ``-suffix`` of random.Random(f"{seed}-X"))
+    # that may legally be drawn during partitioned execution: either
+    # the draw schedule is replicated on every rank, or the stream is
+    # per-device and only the owning rank draws it.
+    "partitioned_streams_ok": [
+        "churn", "faults", "faults-loss", "credentials", "wifi",
+    ],
+    # Module-level names that may be mutated from both coordinator- and
+    # worker-reachable code (SIM202).  Empty: there is no such state.
+    "shared_globals_ok": [],
+    # Every replicated/neutral event function: it MUST refund the
+    # ``events_executed`` slot it consumed (SIM205 checks both
+    # directions — a listed function without the decrement, and a
+    # decrement in an unlisted function).
+    "neutral_events": [
+        "repro.core.churn:DynamicChurn.start.epoch",
+        "repro.faults:FaultInjector._arm_churn.apply_neutral",
+        "repro.faults:FaultInjector._inject",
+        "repro.faults:FaultInjector._clear",
+        "repro.checkpoint:CheckpointWriter._tick",
+        "repro.netsim.shard:_ShardWorker._apply_static_churn",
+        "repro.netsim.shard:_ShardWorker._probe",
+        "repro.netsim.shard:ShardCoordinator._apply_flow_op",
+    ],
+    # Objects the runtime auditor guards on worker ranks: any attribute
+    # write to them after build is an ownership violation.
+    "rank0_guarded_attrs": ["flow_engine"],
+}
+
+#: counter families muted on workers — derived from the contract so the
+#: analyzer and the registry can never disagree.
+_WORKER_MUTED = frozenset(SHARD_CONTRACT["worker_muted_counters"])
 
 #: lane direction indices (second element of a lane tuple)
 _LANE_UP = 0    # dev host -> star router (worker -> parent)
@@ -88,10 +210,21 @@ class _MutedRegistry(MetricsRegistry):
     """Worker-rank registry: muted families hand out the null instrument
     (and are therefore absent from the worker's snapshot), everything
     else behaves normally.  ``NULL_INSTRUMENT.labels()`` returns itself,
-    which also covers the labeled ``faults_injected_total`` family."""
+    which also covers the labeled ``faults_injected_total`` family.
+
+    With a :class:`~repro.simlint.runtime.ShardAccessAuditor` attached,
+    muted families hand out a recording no-op instead, so increments
+    reaching them from non-replicated code are reported with their call
+    site (the runtime leg of SIM203)."""
+
+    def __init__(self, auditor=None):
+        super().__init__()
+        self._auditor = auditor
 
     def counter(self, name, help="", labels=()):
         if name in _WORKER_MUTED:
+            if self._auditor is not None:
+                return self._auditor.muted_instrument(name)
             return NULL_INSTRUMENT
         return super().counter(name, help=help, labels=labels)
 
@@ -281,14 +414,21 @@ class _ShardWorker:
     """One worker rank: a full DDoSim replica, executing only the events
     of its owned Devs, driven in windows by the coordinator."""
 
-    def __init__(self, conn, config, rank: int, workers: int):
+    def __init__(self, conn, config, rank: int, workers: int,
+                 audit: bool = False):
         self.conn = conn
         self.rank = rank
         self.workers = workers
+        self.auditor = None
+        if audit:
+            from repro.simlint.runtime import ShardAccessAuditor
+
+            self.auditor = ShardAccessAuditor(rank, contract=SHARD_CONTRACT)
         from repro.core.framework import DDoSim
 
         self.ddosim = DDoSim(
-            config, observatory=Observatory(metrics=_MutedRegistry())
+            config,
+            observatory=Observatory(metrics=_MutedRegistry(self.auditor)),
         )
         self.sim = self.ddosim.sim
         self.outbox: List[tuple] = []
@@ -323,6 +463,13 @@ class _ShardWorker:
                 lambda kind, name: name in owned_names
             )
             injector.arm()
+        if self.auditor is not None:
+            # Build is replicated and done; from here on, any write to a
+            # rank-0-owned object on this rank is a contract violation.
+            for attr in SHARD_CONTRACT["rank0_guarded_attrs"]:
+                owned_obj = getattr(self.ddosim, attr, None)
+                if owned_obj is not None:
+                    self.auditor.guard(owned_obj, attr)
 
     def _apply_static_churn(self) -> None:
         self.sim.events_executed -= 1
@@ -397,11 +544,12 @@ class _ShardWorker:
             "counters": ddosim.obs.metrics.snapshot()["counters"],
             "events": ddosim.sim.events_executed,
             "rss_kib": _rss_kib(),
+            "audit": None if self.auditor is None else self.auditor.report(),
         }
 
 
 def _shard_worker_main(conn, all_pipes, config, rank: int,
-                       workers: int) -> None:
+                       workers: int, audit: bool = False) -> None:
     """Worker process entry point.
 
     ``all_pipes`` is every (parent_end, child_end) pair the coordinator
@@ -416,7 +564,7 @@ def _shard_worker_main(conn, all_pipes, config, rank: int,
             child_end.close()
     worker = None
     try:
-        worker = _ShardWorker(conn, config, rank, workers)
+        worker = _ShardWorker(conn, config, rank, workers, audit=audit)
         worker.serve()
     except EOFError:
         pass
@@ -469,9 +617,11 @@ class ShardCoordinator:
                  kill_after: Optional[int] = None,
                  expected_fingerprints=None,
                  handoff_key: Optional[Callable] = None,
-                 record_sync_trace: bool = False):
+                 record_sync_trace: bool = False,
+                 audit: bool = False):
         self.config = config
         self.shards = shards
+        self.audit = audit
         self.lookahead = validate_shard_config(config, shards, observatory)
         self.workers = min(shards - 1, config.n_devs)
         if self.workers < 1:
@@ -541,7 +691,8 @@ class ShardCoordinator:
             parent_conn, child_conn = pipes[rank - 1]
             process = ctx.Process(
                 target=_shard_worker_main,
-                args=(child_conn, pipes, self.config, rank, self.workers),
+                args=(child_conn, pipes, self.config, rank, self.workers,
+                      self.audit),
                 daemon=True,
             )
             process.start()
@@ -895,6 +1046,8 @@ class ShardCoordinator:
             self._merge_counters(payload["counters"])
             total_remote_events += payload["events"]
             self.stats["worker_rss_kib"][rank] = payload["rss_kib"]
+            if payload.get("audit") is not None:
+                self.stats.setdefault("audit", []).append(payload["audit"])
         devs_base = ddosim.devs.total_offered_attack
         ddosim.devs.total_offered_attack = lambda: (
             devs_base()[0] + extra_bytes, devs_base()[1] + extra_packets,
@@ -916,7 +1069,8 @@ def run_sharded(config, shards: int = 1, *, observatory=None,
                 kill_after: Optional[int] = None,
                 expected_fingerprints=None,
                 handoff_key: Optional[Callable] = None,
-                record_sync_trace: bool = False) -> ShardedRun:
+                record_sync_trace: bool = False,
+                audit: bool = False) -> ShardedRun:
     """Run one simulation on ``shards`` processes (1 = plain in-process).
 
     The degenerate ``shards <= 1`` path builds and runs an ordinary
@@ -947,6 +1101,7 @@ def run_sharded(config, shards: int = 1, *, observatory=None,
         checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
         kill_after=kill_after, expected_fingerprints=expected_fingerprints,
         handoff_key=handoff_key, record_sync_trace=record_sync_trace,
+        audit=audit,
     )
     result = coordinator.run()
     return ShardedRun(

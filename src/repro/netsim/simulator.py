@@ -27,11 +27,7 @@ import time
 from heapq import heappop
 from typing import Any, Callable, Optional, Union
 
-from repro.netsim.scheduler import (
-    HeapScheduler,
-    SCHEDULER_NAMES,
-    make_scheduler,
-)
+from repro.netsim.scheduler import HeapScheduler, make_scheduler
 from repro.obs.observatory import NULL_OBSERVATORY
 from repro.obs.profiler import site_of
 

@@ -1,37 +1,62 @@
 """repro.simlint: the determinism contract, enforced.
 
-Static half — an AST linter with stable ``SIM1xx`` rules over the
-habits that break (config, seed) -> bytes reproducibility: wall-clock
+Static half — an AST linter with stable ``SIM1xx`` file rules over the
+habits that break (config, seed) -> bytes reproducibility (wall-clock
 reads, module-global RNG draws, set iteration into ordered sinks,
-mutable defaults, float time equality, ``id()`` sort keys, and loop
-variables captured by scheduled closures.
+mutable defaults, float time equality, ``id()`` sort keys, scheduled
+closures capturing loop variables, unused imports) plus the ``SIM2xx``
+whole-program shard-safety rules: a project symbol table and call
+graph (:mod:`repro.simlint.symbols`), a forward dataflow/taint
+framework (:mod:`repro.simlint.dataflow`), and ownership, cross-rank
+race, counter-conservation, RNG-stream, and neutral-event checks
+(:mod:`repro.simlint.shardcheck`) against the machine-readable
+``SHARD_CONTRACT`` declared by :mod:`repro.netsim.shard`.  ``repro
+lint --fix`` applies the mechanical rewrites (:mod:`repro.simlint.fix`);
+``--diff`` and ``--baseline`` keep the gate incremental.
 
-Dynamic half — a runtime sanitizer (scheduler tie-break audit, named
-RNG-stream accounting) and a double-run harness that executes a config
-twice and across ``--jobs`` and localizes the first diverging
-``repro.obs`` trace event.
+Dynamic half — runtime sanitizers (scheduler tie-break audit, named
+RNG-stream accounting, and the shard-access auditor that watches a
+real partitioned run for contract violations) and a double-run harness
+that executes a config twice and across ``--jobs`` and localizes the
+first diverging ``repro.obs`` trace event.
 
 CLI: ``repro lint`` and ``repro verify-determinism`` (both CI gates).
 """
 
 from repro.simlint.checks import run_checks  # registers every rule
-from repro.simlint.engine import in_clock_allowlist, lint_paths, lint_source
+from repro.simlint.engine import (
+    changed_python_files,
+    in_clock_allowlist,
+    lint_paths,
+    lint_project_sources,
+    lint_source,
+)
+from repro.simlint.fix import FIXABLE_CODES, fix_paths, fix_source
 from repro.simlint.reporting import (
     SCHEMA_VERSION,
+    apply_baseline,
     format_json,
     format_text,
+    load_baseline,
     to_json_document,
     violations_from_json,
+    write_baseline,
 )
 from repro.simlint.rules import (
     REGISTRY,
+    ProjectContext,
     Rule,
     Violation,
     all_codes,
     filter_codes,
     parse_suppressions,
 )
-from repro.simlint.runtime import RngStreamGuard, TieBreakAuditor, audit_run
+from repro.simlint.runtime import (
+    RngStreamGuard,
+    ShardAccessAuditor,
+    TieBreakAuditor,
+    audit_run,
+)
 from repro.simlint.verify import (
     CheckResult,
     DeterminismReport,
@@ -42,25 +67,36 @@ from repro.simlint.verify import (
     verify_determinism,
     verify_double_run,
     verify_jobs,
+    verify_shard_lint,
 )
 
 __all__ = [
     "REGISTRY",
+    "ProjectContext",
     "Rule",
     "Violation",
     "all_codes",
     "filter_codes",
     "parse_suppressions",
+    "changed_python_files",
     "in_clock_allowlist",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
     "run_checks",
+    "FIXABLE_CODES",
+    "fix_paths",
+    "fix_source",
     "SCHEMA_VERSION",
+    "apply_baseline",
     "format_json",
     "format_text",
+    "load_baseline",
     "to_json_document",
     "violations_from_json",
+    "write_baseline",
     "RngStreamGuard",
+    "ShardAccessAuditor",
     "TieBreakAuditor",
     "audit_run",
     "CheckResult",
@@ -72,4 +108,5 @@ __all__ = [
     "verify_determinism",
     "verify_double_run",
     "verify_jobs",
+    "verify_shard_lint",
 ]

@@ -357,9 +357,84 @@ def check_loop_closure_callbacks(tree: ast.AST, ctx: CheckContext) -> None:
     _LoopClosureVisitor(ctx).visit(tree)
 
 
+# ----------------------------------------------------------------------
+# SIM108 — unused imports
+# ----------------------------------------------------------------------
+def _names_used(tree: ast.AST) -> Set[str]:
+    """Every Name referenced anywhere (loads, stores, annotations) plus
+    the strings listed in ``__all__`` — anything in here is "used"."""
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Constant) \
+                                and isinstance(sub.value, str):
+                            used.add(sub.value)
+    return used
+
+
+def _type_checking_nodes(tree: ast.AST) -> Set[int]:
+    """ids of statements under ``if TYPE_CHECKING:`` — imports there
+    exist only for annotations and quoted forward references."""
+    guarded: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = (test.id if isinstance(test, ast.Name)
+                else test.attr if isinstance(test, ast.Attribute) else None)
+        if name == "TYPE_CHECKING":
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    guarded.add(id(sub))
+    return guarded
+
+
+@rule("SIM108", "unused-import",
+      "imports that nothing references are dead weight and hide real "
+      "dependencies")
+def check_unused_imports(tree: ast.AST, ctx: CheckContext) -> None:
+    import os
+
+    if os.path.basename(ctx.path) == "__init__.py":
+        return  # package façades re-export on purpose
+    used = _names_used(tree)
+    guarded = _type_checking_nodes(tree)
+    for node in ast.walk(tree):
+        if id(node) in guarded:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if bound not in used:
+                    ctx.report(node, "SIM108",
+                               f"`import {alias.name}` is never used")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                if alias.asname == alias.name:
+                    continue  # `import x as x` is the re-export idiom
+                if bound not in used:
+                    ctx.report(node, "SIM108",
+                               f"`from {node.module or '.'} import "
+                               f"{alias.name}` is never used")
+
+
 def run_checks(tree: ast.AST, ctx: CheckContext, codes: List[str]) -> None:
-    """Run the selected rules (import side effect: registry is full)."""
+    """Run the selected file-scope rules (import side effect: registry
+    is full).  Project-scope rules need the whole-program index and run
+    from the engine's project pass instead."""
     from repro.simlint.rules import REGISTRY
 
     for code in codes:
-        REGISTRY[code].check(tree, ctx)
+        entry = REGISTRY[code]
+        if entry.scope == "file":
+            entry.check(tree, ctx)

@@ -1,0 +1,259 @@
+"""Forward dataflow / taint framework over one function body.
+
+The shard rules need to know *what object a mutation lands on*:
+``engine = self.ddosim.flow_engine; engine.start_flow(...)`` mutates the
+flow engine just as surely as the direct spelling does.  This module
+provides the small abstract interpreter the SIM2xx rules share:
+
+* a **taint** is an opaque string tag attached to an abstract value
+  (``"own:flow_engine"``, ``"ctr:queue_drops_total"``,
+  ``"rng:churn"`` — the rule chooses the vocabulary);
+* the rule supplies a ``seed(expr) -> tags`` callback introducing tags
+  at source expressions (an attribute read, a registration call);
+* the framework propagates tags forward through assignments (including
+  tuple unpacking and loop targets), attribute chains, call results and
+  containers, iterating loop bodies twice so loop-carried facts reach a
+  fixpoint for this height-1 lattice;
+* every *mutation through a tainted value* — an attribute store, an
+  augmented store, a subscript store, or a method call on a tainted
+  receiver — is emitted as a :class:`TaintEvent` with the AST node for
+  ``file:line`` localization.
+
+Deliberately flow-insensitive across calls (interprocedural questions
+belong to the call graph in :mod:`repro.simlint.symbols`) and
+path-insensitive inside branches: both branches of an ``if`` contribute
+facts.  For lint purposes over-taint is the safe direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Set
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+Tags = FrozenSet[str]
+EMPTY: Tags = frozenset()
+
+
+@dataclass(frozen=True)
+class TaintEvent:
+    """One mutation observed through a tainted value."""
+
+    node: ast.AST      # where (lineno/col_offset)
+    kind: str          # "attr-store" | "aug-store" | "subscript-store" | "call"
+    tags: Tags         # taints on the mutated receiver
+    detail: str        # attribute or method name
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+class TaintAnalysis:
+    """Run one function; collect :class:`TaintEvent` records.
+
+    ``seed(expr)`` may return tags for any expression node; it is
+    consulted on every Name/Attribute/Call the walker evaluates, so a
+    rule can root taints wherever its contract says they begin.
+    """
+
+    def __init__(self, seed: Callable[[ast.AST], Set[str]]):
+        self._seed = seed
+        self.env: Dict[str, Tags] = {}
+        self.events: List[TaintEvent] = []
+        self._emitted: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def run(self, fn_node: ast.AST) -> List[TaintEvent]:
+        self.env = {}
+        self.events = []
+        self._emitted = set()
+        # Two passes: the second sees loop-carried and later-assigned
+        # taints; events dedupe by node identity so nothing doubles.
+        for _ in range(2):
+            for stmt in fn_node.body:
+                self._stmt(stmt)
+        self.events.sort(key=lambda event: (event.line, event.detail))
+        return self.events
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, _FUNCTION_NODES) or isinstance(stmt, ast.ClassDef):
+            return  # nested defs are their own analysis units
+        if isinstance(stmt, ast.Assign):
+            tags = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, tags)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            tags = self._eval(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                merged = self.env.get(target.id, EMPTY) | tags
+                if merged:
+                    self.env[target.id] = merged
+            elif isinstance(target, ast.Attribute):
+                receiver = self._eval(target.value)
+                if receiver:
+                    self._emit(target, "aug-store", receiver, target.attr)
+            elif isinstance(target, ast.Subscript):
+                receiver = self._eval(target.value)
+                if receiver:
+                    self._emit(target, "subscript-store", receiver, "[]")
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.For):
+            self._assign(stmt.target, self._eval(stmt.iter))
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                tags = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, tags)
+            for sub in stmt.body:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body + stmt.orelse + stmt.finalbody:
+                self._stmt(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._stmt(sub)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        # Delete/Pass/Import/Global/Nonlocal: nothing to track
+
+    def _assign(self, target: ast.expr, tags: Tags) -> None:
+        if isinstance(target, ast.Name):
+            if tags:
+                self.env[target.id] = tags
+            else:
+                self.env.pop(target.id, None)  # strong update kills stale tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, tags)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, tags)
+        elif isinstance(target, ast.Attribute):
+            receiver = self._eval(target.value)
+            if receiver:
+                self._emit(target, "attr-store", receiver, target.attr)
+        elif isinstance(target, ast.Subscript):
+            receiver = self._eval(target.value)
+            if receiver:
+                self._emit(target, "subscript-store", receiver, "[]")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _eval(self, node: ast.expr) -> Tags:
+        seeded = frozenset(self._seed(node) or ())
+        if isinstance(node, ast.Name):
+            return seeded | self.env.get(node.id, EMPTY)
+        if isinstance(node, ast.Attribute):
+            # taint flows through attribute reads: a handle to part of a
+            # tainted object is still a handle to rank-0 state
+            return seeded | self._eval(node.value)
+        if isinstance(node, ast.Call):
+            receiver = EMPTY
+            if isinstance(node.func, ast.Attribute):
+                receiver = self._eval(node.func.value)
+                if receiver:
+                    self._emit(node, "call", receiver, node.func.attr)
+            else:
+                self._eval(node.func)
+            arg_tags = EMPTY
+            for arg in node.args:
+                arg_tags |= self._eval(
+                    arg.value if isinstance(arg, ast.Starred) else arg)
+            for keyword in node.keywords:
+                arg_tags |= self._eval(keyword.value)
+            # a call's result carries its receiver's taints (method
+            # chaining: counter(...).labels(...).inc()) and its args'
+            # (sorted(tainted) is still tainted), plus any seeds
+            return seeded | receiver | arg_tags
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = seeded
+            for element in node.elts:
+                out |= self._eval(
+                    element.value if isinstance(element, ast.Starred)
+                    else element)
+            return out
+        if isinstance(node, ast.Dict):
+            out = seeded
+            for key in node.keys:
+                if key is not None:
+                    out |= self._eval(key)
+            for value in node.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(node, (ast.BinOp,)):
+            return seeded | self._eval(node.left) | self._eval(node.right)
+        if isinstance(node, ast.BoolOp):
+            out = seeded
+            for value in node.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return seeded | self._eval(node.operand)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return seeded | self._eval(node.body) | self._eval(node.orelse)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return seeded
+        if isinstance(node, ast.Subscript):
+            return seeded | self._eval(node.value)
+        if isinstance(node, ast.Starred):
+            return seeded | self._eval(node.value)
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return seeded
+        if isinstance(node, ast.Lambda):
+            return seeded  # opaque; scheduled lambdas are SIM107's beat
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for generator in node.generators:
+                self._assign(generator.target, self._eval(generator.iter))
+            if isinstance(node, ast.DictComp):
+                return seeded | self._eval(node.key) | self._eval(node.value)
+            return seeded | self._eval(node.elt)
+        if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+            inner = getattr(node, "value", None)
+            return seeded | (self._eval(inner) if inner is not None else EMPTY)
+        return seeded  # constants and anything else
+
+    # ------------------------------------------------------------------
+    def _emit(self, node: ast.AST, kind: str, tags: Tags,
+              detail: str) -> None:
+        key = id(node)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.events.append(TaintEvent(node=node, kind=kind,
+                                      tags=tags, detail=detail))
+
+
+def taint_function(fn_node: ast.AST,
+                   seed: Callable[[ast.AST], Set[str]]) -> List[TaintEvent]:
+    """Convenience wrapper: one function, one seed, events out."""
+    return TaintAnalysis(seed).run(fn_node)

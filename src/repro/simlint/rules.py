@@ -24,12 +24,19 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 @dataclass(frozen=True)
 class Rule:
-    """One registered determinism check."""
+    """One registered determinism check.
 
-    code: str          # stable "SIM1xx" identifier
+    ``scope`` selects the check signature: ``"file"`` rules see one
+    parsed module (``check(tree, ctx)``); ``"project"`` rules see the
+    whole-program index (``check(ctx: ProjectContext)``) and may report
+    violations in any indexed file.
+    """
+
+    code: str          # stable "SIMxxx" identifier
     name: str          # short kebab-case slug, e.g. "wall-clock"
     summary: str       # one-line contract statement
-    check: Callable    # check(tree, ctx) -> None; reports via ctx.report()
+    check: Callable    # file: check(tree, ctx); project: check(project_ctx)
+    scope: str = "file"
 
 
 @dataclass(frozen=True)
@@ -66,12 +73,13 @@ class Violation:
 REGISTRY: Dict[str, Rule] = {}
 
 
-def rule(code: str, name: str, summary: str):
-    """Decorator: register ``check(tree, ctx)`` under a SIM1xx code."""
+def rule(code: str, name: str, summary: str, scope: str = "file"):
+    """Decorator: register a check under a stable SIMxxx code."""
     def register(check: Callable) -> Callable:
         if code in REGISTRY:
             raise ValueError(f"duplicate rule code {code}")
-        REGISTRY[code] = Rule(code=code, name=name, summary=summary, check=check)
+        REGISTRY[code] = Rule(code=code, name=name, summary=summary,
+                              check=check, scope=scope)
         return check
     return register
 
@@ -93,9 +101,11 @@ def _parse_directive(comment: str) -> Optional[Tuple[str, Set[str]]]:
     suppressed SIM codes, or ``{"all"}``.
     """
     text = comment.lstrip("#").strip()
-    if not text.startswith(_DIRECTIVE):
+    # the directive may trail another comment: `# noqa  # simlint: ...`
+    marker = text.find(_DIRECTIVE)
+    if marker == -1:
         return None
-    text = text[len(_DIRECTIVE):].strip()
+    text = text[marker + len(_DIRECTIVE):].strip()
     for prefix, kind in (("file-disable=", "file"), ("disable=", "line")):
         if text.startswith(prefix):
             spec = text[len(prefix):].split()[0] if text[len(prefix):] else ""
@@ -167,18 +177,54 @@ class CheckContext:
         ))
 
 
+class ProjectContext:
+    """What a project-scope check sees: the whole-program index, a
+    report sink, and a scratch cache shared by the rules of one run
+    (reachability sets, the parsed shard contract) so five SIM2xx rules
+    do not rebuild the same BFS five times.
+
+    ``contract_override`` lets tests (and the mutation-style analyzer
+    tests in ``tests/test_shard.py``) analyze the real tree against a
+    deliberately perturbed contract.
+    """
+
+    def __init__(self, index, contract_override: Optional[dict] = None):
+        self.index = index
+        self.contract_override = contract_override
+        self.cache: Dict[str, object] = {}
+        self.violations: List[Violation] = []
+
+    def report(self, path: str, node, code: str, message: str) -> None:
+        self.violations.append(Violation(
+            path=path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        ))
+
+
 def filter_codes(codes: Iterable[str],
                  select: Optional[Iterable[str]] = None,
                  ignore: Optional[Iterable[str]] = None) -> List[str]:
-    """The enabled rule codes after ``--select`` / ``--ignore``."""
+    """The enabled rule codes after ``--select`` / ``--ignore``.
+
+    Entries match exactly or by prefix: ``--select SIM2`` enables the
+    whole SIM2xx family, ``--ignore SIM10`` drops SIM101..SIM109.
+    """
     chosen = list(codes)
     if select:
         wanted = set(select)
-        unknown = wanted - set(chosen)
+        unknown = {
+            entry for entry in wanted
+            if not any(code.startswith(entry) for code in chosen)
+        }
         if unknown:
             raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
-        chosen = [code for code in chosen if code in wanted]
+        chosen = [code for code in chosen
+                  if any(code.startswith(entry) for entry in wanted)]
     if ignore:
         dropped = set(ignore)
-        chosen = [code for code in chosen if code not in dropped]
+        chosen = [code for code in chosen
+                  if not any(code.startswith(entry) for entry in dropped)]
     return chosen

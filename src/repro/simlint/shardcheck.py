@@ -1,0 +1,494 @@
+"""Shard-safety rules (``SIM2xx``): whole-program checks of the
+sharded engine's ownership contract.
+
+The contract itself lives in :mod:`repro.netsim.shard` as the pure
+literal ``SHARD_CONTRACT`` — one source of truth shared by these rules
+(read statically with :func:`ast.literal_eval`; the analyzer never
+imports the code it lints) and by the runtime
+:class:`~repro.simlint.runtime.ShardAccessAuditor`.  Each rule is a
+``scope="project"`` entry in the ordinary rule registry, so
+``--select``/``--ignore`` and ``# simlint: disable=`` comments work on
+them exactly as on the per-file SIM1xx family.
+
+* **SIM201** — worker-reachable code mutating rank-0-owned state
+  (flow engine, orchestrator, attacker/tserver, sink totals) outside a
+  declared hand-off channel.
+* **SIM202** — module-level/shared state mutated from both the
+  coordinator and worker call graphs without a declared hand-off key.
+* **SIM203** — counter conservation: increments of worker-muted
+  counter families outside the replicated sites, and gauge/histogram
+  mutations on worker paths that the merge patch never ships — either
+  silently under-counts the merged snapshot after ``_collect()``.
+* **SIM204** — RNG-stream discipline (interprocedural SIM102): a named
+  stream drawn during replicated build AND during partitioned
+  execution diverges across ranks the moment one rank skips an event.
+* **SIM205** — neutral-event hygiene: every replicated event must
+  refund ``events_executed``, and every refund must be declared in the
+  contract's ``neutral_events`` list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.simlint.checks import _GLOBAL_DRAWS
+from repro.simlint.dataflow import taint_function
+from repro.simlint.rules import ProjectContext, rule
+from repro.simlint.symbols import ClassInfo, FunctionInfo, ProjectIndex
+
+__all__ = ["load_contract", "run_project_checks"]
+
+#: the module-level literal every contract-bearing module must define
+CONTRACT_NAME = "SHARD_CONTRACT"
+
+_INSTRUMENT_CTORS = ("counter", "gauge", "histogram")
+_MUTATORS_BY_KIND = {
+    "counter": ("inc",),
+    "gauge": ("set", "inc", "dec"),
+    "histogram": ("observe",),
+}
+
+
+# ----------------------------------------------------------------------
+# Contract loading (static: literal_eval, never import)
+# ----------------------------------------------------------------------
+def load_contract(ctx: ProjectContext) -> Optional[dict]:
+    """The shard contract for this analysis run (cached on the ctx).
+
+    Precedence: an explicit ``contract_override``, else the first
+    module in the index defining a module-level ``SHARD_CONTRACT``
+    literal (the real tree has exactly one, in ``repro.netsim.shard``).
+    Returns None when the project declares no contract — every SIM2xx
+    rule is then vacuously satisfied.
+    """
+    if "contract" in ctx.cache:
+        return ctx.cache["contract"]  # type: ignore[return-value]
+    contract = ctx.contract_override
+    if contract is None:
+        for name in sorted(ctx.index.modules):
+            module = ctx.index.modules[name]
+            if CONTRACT_NAME not in module.module_globals:
+                continue
+            for stmt in module.tree.body:
+                if isinstance(stmt, ast.Assign) and any(
+                        isinstance(t, ast.Name) and t.id == CONTRACT_NAME
+                        for t in stmt.targets):
+                    try:
+                        contract = ast.literal_eval(stmt.value)
+                    except ValueError:
+                        contract = None
+                    break
+            if contract is not None:
+                break
+    ctx.cache["contract"] = contract
+    return contract
+
+
+def _matched(ctx: ProjectContext, key: str, patterns) -> Set[str]:
+    """Union of ``index.match`` over contract patterns, cached by key."""
+    cache_key = f"matched:{key}"
+    if cache_key not in ctx.cache:
+        out: Set[str] = set()
+        for pattern in patterns:
+            out.update(ctx.index.match(pattern))
+        ctx.cache[cache_key] = out
+    return ctx.cache[cache_key]  # type: ignore[return-value]
+
+
+def _reachable(ctx: ProjectContext, key: str, patterns) -> Set[str]:
+    cache_key = f"reach:{key}"
+    if cache_key not in ctx.cache:
+        ctx.cache[cache_key] = ctx.index.reachable(patterns)
+    return ctx.cache[cache_key]  # type: ignore[return-value]
+
+
+def _worker_set(ctx: ProjectContext, contract: dict) -> Set[str]:
+    """Worker-executed functions minus the declared hand-off channels."""
+    reach = _reachable(ctx, "worker", contract.get("worker_roots", ()))
+    channels = _matched(ctx, "handoff",
+                        contract.get("handoff_channels", ()))
+    return reach - channels
+
+
+def _class_for(index: ProjectIndex, fn: FunctionInfo) -> Optional[ClassInfo]:
+    if fn.class_name is None:
+        return None
+    module = index.modules.get(fn.module)
+    if module is None:
+        return None
+    return module.classes.get(fn.class_name)
+
+
+def _base_chain(index: ProjectIndex, klass: ClassInfo,
+                seen: Optional[Set[str]] = None) -> List[ClassInfo]:
+    """The class plus its project-local bases (for attr-map merging)."""
+    seen = seen if seen is not None else set()
+    if klass.name in seen:
+        return []
+    seen.add(klass.name)
+    out = [klass]
+    for base in klass.bases:
+        for candidate in index.class_index.get(base.rpartition(".")[2], []):
+            out.extend(_base_chain(index, candidate, seen))
+    return out
+
+
+# ----------------------------------------------------------------------
+# SIM201 — shard-ownership violations
+# ----------------------------------------------------------------------
+@rule("SIM201", "shard-ownership",
+      "worker-reachable code must not mutate rank-0-owned state outside "
+      "a declared hand-off channel", scope="project")
+def check_shard_ownership(ctx: ProjectContext) -> None:
+    contract = load_contract(ctx)
+    if contract is None:
+        return
+    owned = set(contract.get("rank0_owned_attrs", ()))
+    mutating = set(contract.get("mutating_methods", ()))
+    if not owned:
+        return
+
+    def seed(node: ast.AST) -> Set[str]:
+        if isinstance(node, ast.Attribute) and node.attr in owned:
+            return {f"own:{node.attr}"}
+        return set()
+
+    for qualname in sorted(_worker_set(ctx, contract)):
+        fn = ctx.index.functions[qualname]
+        for event in taint_function(fn.node, seed):
+            if event.kind == "call" and event.detail not in mutating:
+                continue
+            handles = ", ".join(sorted(
+                tag.split(":", 1)[1] for tag in event.tags))
+            what = (f"calls mutator `.{event.detail}()` on"
+                    if event.kind == "call"
+                    else f"stores `.{event.detail}` on"
+                    if event.kind != "subscript-store"
+                    else "stores into")
+            ctx.report(
+                fn.path, event.node, "SIM201",
+                f"worker-reachable `{fn.local_name}` {what} rank-0-owned "
+                f"state ({handles}); route through _LinkBridge, the flow-op "
+                "proxy, or another declared hand-off channel",
+            )
+
+
+# ----------------------------------------------------------------------
+# SIM202 — cross-rank race hazards on shared module/class state
+# ----------------------------------------------------------------------
+def _global_mutations(index: ProjectIndex,
+                      fn: FunctionInfo) -> List[Tuple[str, ast.AST]]:
+    """``(name, node)`` for every module-global / class-attribute store
+    in the function's own body."""
+    from repro.simlint.symbols import _walk_own
+
+    declared: Set[str] = set()
+    out: List[Tuple[str, ast.AST]] = []
+    module = index.modules[fn.module]
+    for node in _walk_own(fn.node):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+    for node in _walk_own(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    out.append((f"{fn.module}.{target.id}", target))
+                elif (isinstance(target, ast.Attribute)
+                      and isinstance(target.value, ast.Name)):
+                    root = target.value.id
+                    if root in module.classes:
+                        out.append(
+                            (f"{fn.module}:{root}.{target.attr}", target))
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            # mutating call on a module-global set/list/dict object
+            # (``_SEEN.add(...)`` with ``_SEEN`` a module literal)
+            root = node.func.value
+            if (isinstance(root, ast.Name) and root.id in module.module_globals
+                    and node.func.attr in (
+                        "add", "append", "update", "setdefault", "pop",
+                        "clear", "extend", "remove", "discard")):
+                out.append((f"{fn.module}.{root.id}", node))
+    return out
+
+
+@rule("SIM202", "cross-rank-race",
+      "module-level/shared state must not be mutated from both the "
+      "coordinator and worker call graphs", scope="project")
+def check_cross_rank_race(ctx: ProjectContext) -> None:
+    contract = load_contract(ctx)
+    if contract is None:
+        return
+    allowed = set(contract.get("shared_globals_ok", ()))
+    workers = _worker_set(ctx, contract)
+    coordinators = _reachable(
+        ctx, "coordinator", contract.get("coordinator_roots", ()))
+    channels = _matched(ctx, "handoff", contract.get("handoff_channels", ()))
+    #: name -> list of (fn, node, sides)
+    sites: Dict[str, List[Tuple[FunctionInfo, ast.AST, Set[str]]]] = {}
+    for qualname, fn in ctx.index.functions.items():
+        if qualname in channels:
+            continue
+        sides = set()
+        if qualname in workers:
+            sides.add("worker")
+        if qualname in coordinators:
+            sides.add("coordinator")
+        if not sides:
+            continue
+        for name, node in _global_mutations(ctx.index, fn):
+            sites.setdefault(name, []).append((fn, node, sides))
+    for name in sorted(sites):
+        short = name.rpartition(".")[2].rpartition(":")[2]
+        if short in allowed or name in allowed:
+            continue
+        all_sides = set()
+        for _fn, _node, sides in sites[name]:
+            all_sides |= sides
+        if all_sides < {"worker", "coordinator"}:
+            continue
+        for fn, node, _sides in sites[name]:
+            ctx.report(
+                fn.path, node, "SIM202",
+                f"`{short}` is mutated from both coordinator- and "
+                f"worker-reachable code (here in `{fn.local_name}`); ranks "
+                "are separate processes, so divergent copies break "
+                "fingerprint composition — move it behind a hand-off "
+                "channel or declare it in shared_globals_ok",
+            )
+
+
+# ----------------------------------------------------------------------
+# SIM203 — counter conservation across the shard merge
+# ----------------------------------------------------------------------
+def _literal_family(call: ast.expr) -> Optional[Tuple[str, str]]:
+    """``(kind, family)`` when the expression registers an instrument
+    with a literal name: ``<reg>.counter("queue_drops_total", ...)``."""
+    if not (isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in _INSTRUMENT_CTORS
+            and call.args
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, str)):
+        return None
+    return call.func.attr, call.args[0].value
+
+
+def _instrument_map(index: ProjectIndex,
+                    fn: FunctionInfo) -> Dict[str, Tuple[str, str]]:
+    """attr name -> (kind, family) for the function's class chain."""
+    klass = _class_for(index, fn)
+    if klass is None:
+        return {}
+    out: Dict[str, Tuple[str, str]] = {}
+    for info in _base_chain(index, klass):
+        for attr, values in info.attr_values.items():
+            for value in values:
+                family = _literal_family(value)
+                if family is not None:
+                    out.setdefault(attr, family)
+    return out
+
+
+@rule("SIM203", "counter-conservation",
+      "worker-path metric mutations must survive the shard merge: muted "
+      "counters only at replicated sites, no unmerged gauge/histogram "
+      "writes", scope="project")
+def check_counter_conservation(ctx: ProjectContext) -> None:
+    contract = load_contract(ctx)
+    if contract is None:
+        return
+    muted = set(contract.get("worker_muted_counters", ()))
+    unmerged_ok = set(contract.get("unmerged_families_ok", ()))
+    replicated = _matched(ctx, "replicated",
+                          contract.get("replicated_sites", ()))
+    for qualname in sorted(_worker_set(ctx, contract)):
+        fn = ctx.index.functions[qualname]
+        instruments = _instrument_map(ctx.index, fn)
+
+        def seed(node: ast.AST) -> Set[str]:
+            if isinstance(node, ast.Attribute) and node.attr in instruments:
+                kind, family = instruments[node.attr]
+                return {f"{kind}:{family}"}
+            inline = _literal_family(node)
+            if inline is not None:
+                return {f"{inline[0]}:{inline[1]}"}
+            return set()
+
+        for event in taint_function(fn.node, seed):
+            if event.kind != "call":
+                continue
+            for tag in sorted(event.tags):
+                kind, _, family = tag.partition(":")
+                if event.detail not in _MUTATORS_BY_KIND.get(kind, ()):
+                    continue
+                if kind == "counter":
+                    if family in muted and qualname not in replicated:
+                        ctx.report(
+                            fn.path, event.node, "SIM203",
+                            f"`{family}` is worker-muted (parent-counted), "
+                            f"but `{fn.local_name}` increments it on a "
+                            "non-replicated worker path — the increment "
+                            "exists only on worker ranks and vanishes from "
+                            "the merged snapshot; move the increment to a "
+                            "replicated site or un-mute and merge the family",
+                        )
+                elif family not in unmerged_ok and qualname not in replicated:
+                    ctx.report(
+                        fn.path, event.node, "SIM203",
+                        f"{kind} `{family}` is mutated on a worker path, but "
+                        "the shard merge patch ships only counters — this "
+                        f"{kind} silently under-counts after _collect(); "
+                        "declare it in unmerged_families_ok with a "
+                        "justification or make the parent authoritative",
+                    )
+
+
+# ----------------------------------------------------------------------
+# SIM204 — RNG-stream discipline across build/execution phases
+# ----------------------------------------------------------------------
+def _stream_name(call: ast.expr) -> Optional[str]:
+    """The purpose suffix of ``random.Random(f"{seed}-purpose")`` (or a
+    plain string seed); None for unnamed/non-Random calls."""
+    if not isinstance(call, ast.Call) or not call.args:
+        return None
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else \
+        func.id if isinstance(func, ast.Name) else None
+    if name != "Random":
+        return None
+    seed_arg = call.args[0]
+    if isinstance(seed_arg, ast.Constant) and isinstance(seed_arg.value, str):
+        return seed_arg.value
+    if isinstance(seed_arg, ast.JoinedStr) and seed_arg.values:
+        last = seed_arg.values[-1]
+        if isinstance(last, ast.Constant) and isinstance(last.value, str):
+            return last.value.lstrip("-") or None
+    return None
+
+
+def _stream_draws(ctx: ProjectContext,
+                  fn: FunctionInfo) -> List[Tuple[str, ast.AST]]:
+    """``(stream, node)`` for every named-stream draw in the function."""
+    klass = _class_for(ctx.index, fn)
+    streams: Dict[str, str] = {}
+    if klass is not None:
+        for info in _base_chain(ctx.index, klass):
+            for attr, values in info.attr_values.items():
+                for value in values:
+                    name = _stream_name(value)
+                    if name is not None:
+                        streams.setdefault(attr, name)
+
+    def seed(node: ast.AST) -> Set[str]:
+        if isinstance(node, ast.Attribute) and node.attr in streams:
+            return {f"rng:{streams[node.attr]}"}
+        name = _stream_name(node)
+        if name is not None:
+            return {f"rng:{name}"}
+        return set()
+
+    out: List[Tuple[str, ast.AST]] = []
+    for event in taint_function(fn.node, seed):
+        if event.kind != "call" or event.detail not in _GLOBAL_DRAWS:
+            continue
+        for tag in sorted(event.tags):
+            if tag.startswith("rng:"):
+                out.append((tag[4:], event.node))
+    return out
+
+
+@rule("SIM204", "shard-rng-stream",
+      "a named RNG stream must not be drawn from both the replicated "
+      "build phase and partitioned worker execution", scope="project")
+def check_shard_rng_streams(ctx: ProjectContext) -> None:
+    contract = load_contract(ctx)
+    if contract is None:
+        return
+    allowed = set(contract.get("partitioned_streams_ok", ()))
+    build = _reachable(ctx, "build", contract.get("build_roots", ()))
+    replicated = _matched(ctx, "replicated",
+                          contract.get("replicated_sites", ()))
+    draws_cache: Dict[str, List[Tuple[str, ast.AST]]] = {
+        qualname: _stream_draws(ctx, ctx.index.functions[qualname])
+        for qualname in ctx.index.functions
+    }
+    build_streams = {
+        stream
+        for qualname in build
+        for stream, _node in draws_cache.get(qualname, ())
+    }
+    for qualname in sorted(_worker_set(ctx, contract)):
+        if qualname in replicated or qualname in build:
+            continue
+        fn = ctx.index.functions[qualname]
+        for stream, node in draws_cache.get(qualname, ()):
+            if stream in allowed or stream not in build_streams:
+                continue
+            ctx.report(
+                fn.path, node, "SIM204",
+                f"stream `{stream}` is drawn during replicated build AND "
+                f"here on a partitioned worker path (`{fn.local_name}`): "
+                "ranks skip each other's events, so the stream positions "
+                "diverge and every later replicated draw differs; give "
+                "the partitioned path its own per-purpose stream",
+            )
+
+
+# ----------------------------------------------------------------------
+# SIM205 — neutral-event hygiene
+# ----------------------------------------------------------------------
+def _refunds_events(fn_node: ast.AST) -> bool:
+    """True when the function's own body decrements ``events_executed``."""
+    from repro.simlint.symbols import _walk_own
+
+    for node in _walk_own(fn_node):
+        if (isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Sub)
+                and isinstance(node.target, ast.Attribute)
+                and node.target.attr == "events_executed"):
+            return True
+    return False
+
+
+@rule("SIM205", "neutral-event",
+      "every replicated event must refund events_executed, and every "
+      "refund must be declared in the contract", scope="project")
+def check_neutral_events(ctx: ProjectContext) -> None:
+    contract = load_contract(ctx)
+    if contract is None:
+        return
+    declared = _matched(ctx, "neutral", contract.get("neutral_events", ()))
+    for qualname in sorted(declared):
+        fn = ctx.index.functions[qualname]
+        if not _refunds_events(fn.node):
+            ctx.report(
+                fn.path, fn.node, "SIM205",
+                f"`{fn.local_name}` is declared a neutral event but never "
+                "refunds events_executed: replicated ranks each count it "
+                "and the merged total over-counts; add "
+                "`sim.events_executed -= 1` (or drop it from "
+                "neutral_events)",
+            )
+    for qualname in sorted(set(ctx.index.functions) - declared):
+        fn = ctx.index.functions[qualname]
+        if _refunds_events(fn.node):
+            ctx.report(
+                fn.path, fn.node, "SIM205",
+                f"`{fn.local_name}` refunds events_executed but is not "
+                "declared in the shard contract's neutral_events — the "
+                "analyzer cannot prove the replicated schedule is "
+                "conserved; add the pattern to SHARD_CONTRACT",
+            )
+
+
+def run_project_checks(ctx: ProjectContext, codes: List[str]) -> None:
+    """Run the selected project-scope rules against one index."""
+    from repro.simlint.rules import REGISTRY
+
+    for code in codes:
+        entry = REGISTRY[code]
+        if entry.scope == "project":
+            entry.check(ctx)

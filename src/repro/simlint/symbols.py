@@ -1,0 +1,412 @@
+"""Project symbol table and call graph for whole-program lint rules.
+
+The SIM1xx rules are deliberately per-module — they need no context
+beyond one file.  The shard-safety rules (``SIM2xx``,
+:mod:`repro.simlint.shardcheck`) ask questions no single module can
+answer: *is this function reachable from worker-rank execution?*, *is
+this counter incremented on a path whose totals never merge back?*.
+This module supplies the shared substrate those rules stand on:
+
+* :class:`ProjectIndex` — every module/class/function under a root,
+  with import aliases, module-level names, and per-class ``self.X``
+  assignment records resolved into one namespace;
+* a **call graph** over qualnames (``pkg.mod:Class.method``) built from
+  three edge kinds: *resolved* calls (module functions, imports,
+  ``self.`` methods, constructors), *callback references* (a function
+  passed as an argument — the dominant control flow in a discrete-event
+  simulator, where ``sim.schedule(dt, dev.boot)`` is a call in every
+  sense that matters), and *name-matched* (CHA-style) edges for
+  ``obj.m()`` with an unknown receiver, capped at
+  :data:`MAX_NAME_CANDIDATES` target classes so one generic method name
+  cannot glue the whole program together;
+* :meth:`ProjectIndex.reachable` — BFS over those edges from a set of
+  root patterns, which is how the shard contract's ``worker_roots`` /
+  ``coordinator_roots`` become executable facts.
+
+Everything is plain ``ast`` — no imports of analyzed code, so the
+analyzer can lint a tree it could never (or should never) execute.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: an ``obj.m()`` call with an unknown receiver links to every project
+#: class defining ``m`` — but only when at most this many do.  Beyond
+#: that the name is too generic (``run``, ``start``) for the edge to
+#: carry information, and a false edge is worse than a missing one
+#: because reachability noise drowns real findings.
+MAX_NAME_CANDIDATES = 8
+
+#: method names never matched by name (CHA): calls with an unknown
+#: receiver and one of these names are overwhelmingly list/dict/set/IO
+#: protocol operations, so a name edge would wire arbitrary project
+#: classes into every function that touches a container.
+CHA_EXCLUDED_NAMES = frozenset((
+    "append", "extend", "insert", "remove", "discard", "clear", "pop",
+    "popleft", "add", "update", "setdefault", "get", "keys", "values",
+    "items", "sort", "reverse", "copy", "count", "index", "join",
+    "split", "strip", "read", "write", "readline", "close", "flush",
+))
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method (including nested defs)."""
+
+    qualname: str                  # "pkg.mod:Class.method" / "pkg.mod:f.inner"
+    module: str
+    path: str
+    node: ast.AST
+    class_name: Optional[str] = None
+
+    @property
+    def local_name(self) -> str:
+        return self.qualname.split(":", 1)[1]
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and every ``self.X = <expr>`` it makes."""
+
+    name: str
+    module: str
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attribute name -> value expressions assigned to ``self.<attr>``
+    attr_values: Dict[str, List[ast.expr]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its top-level namespace."""
+
+    name: str
+    path: str
+    tree: ast.AST
+    source: str
+    imports: Dict[str, str] = field(default_factory=dict)   # alias -> dotted
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    module_globals: Set[str] = field(default_factory=set)
+
+
+def _collect_imports(tree: ast.AST) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name from a file path, by walking package dirs up.
+
+    ``.../src/repro/netsim/shard.py`` -> ``repro.netsim.shard`` because
+    every directory up to (and excluding) ``src`` has an
+    ``__init__.py``.  Files outside any package keep their bare stem.
+    """
+    path = os.path.abspath(path)
+    directory, filename = os.path.split(path)
+    parts = [os.path.splitext(filename)[0]]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.append(package)
+    if parts[0] == "__init__":
+        parts = parts[1:] or parts
+    return ".".join(reversed(parts))
+
+
+class ProjectIndex:
+    """Symbol table + call graph over one set of modules."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: method name -> qualnames of every project method with it
+        self.method_index: Dict[str, List[str]] = {}
+        self.class_index: Dict[str, List[ClassInfo]] = {}
+        self._graph: Optional[Dict[str, Set[str]]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_files(cls, paths: Iterable[str]) -> "ProjectIndex":
+        """Index ``.py`` files (already expanded) from disk."""
+        sources = {}
+        for path in paths:
+            with open(path, encoding="utf-8") as handle:
+                sources[path] = handle.read()
+        return cls.from_sources(
+            {module_name_for(path): (path, source)
+             for path, source in sources.items()}
+        )
+
+    @classmethod
+    def from_sources(cls, modules: Dict[str, object]) -> "ProjectIndex":
+        """Index in-memory modules: ``{name: source}`` or
+        ``{name: (path, source)}`` — the test-fixture entry point."""
+        index = cls()
+        for name, value in sorted(modules.items()):
+            path, source = value if isinstance(value, tuple) \
+                else (f"{name.replace('.', '/')}.py", value)
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue  # SIM100 is the per-file engine's report
+            index._add_module(name, path, tree, source)
+        index._finish()
+        return index
+
+    def _add_module(self, name: str, path: str, tree: ast.AST,
+                    source: str) -> None:
+        info = ModuleInfo(name=name, path=path, tree=tree, source=source,
+                          imports=_collect_imports(tree))
+        for stmt in tree.body:
+            if isinstance(stmt, _FUNCTION_NODES):
+                self._add_function(info, stmt, prefix="", class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(info, stmt)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                    else [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        info.module_globals.add(target.id)
+        self.modules[name] = info
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        klass = ClassInfo(name=node.name, module=module.name)
+        for base in node.bases:
+            dotted = _dotted_name(base)
+            if dotted:
+                klass.bases.append(dotted)
+        for stmt in node.body:
+            if isinstance(stmt, _FUNCTION_NODES):
+                fn = self._add_function(module, stmt, prefix=node.name,
+                                        class_name=node.name)
+                klass.methods[stmt.name] = fn
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            if (isinstance(target, ast.Attribute)
+                                    and isinstance(target.value, ast.Name)
+                                    and target.value.id == "self"):
+                                klass.attr_values.setdefault(
+                                    target.attr, []).append(sub.value)
+        module.classes[node.name] = klass
+        self.class_index.setdefault(node.name, []).append(klass)
+
+    def _add_function(self, module: ModuleInfo, node: ast.AST, prefix: str,
+                      class_name: Optional[str]) -> FunctionInfo:
+        local = f"{prefix}.{node.name}" if prefix else node.name
+        info = FunctionInfo(
+            qualname=f"{module.name}:{local}", module=module.name,
+            path=module.path, node=node, class_name=class_name,
+        )
+        module.functions[local] = info
+        self.functions[info.qualname] = info
+        if class_name is not None and "." not in local[len(class_name) + 1:]:
+            self.method_index.setdefault(node.name, []).append(info.qualname)
+        for nested in _nested_defs(node):
+            self._add_function(module, nested, prefix=local,
+                               class_name=class_name)
+        return info
+
+    def _finish(self) -> None:
+        self._graph = None
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_dotted(self, dotted: str) -> List[str]:
+        """Project qualnames a dotted path points at (may be empty)."""
+        module, _, leaf = dotted.rpartition(".")
+        mod = self.modules.get(module)
+        if mod is not None:
+            if leaf in mod.functions:
+                return [mod.functions[leaf].qualname]
+            if leaf in mod.classes:
+                init = mod.classes[leaf].methods.get("__init__")
+                return [init.qualname] if init else []
+        # "pkg.mod.Class.method"
+        module2, _, klass = module.rpartition(".")
+        mod2 = self.modules.get(module2)
+        if mod2 is not None and klass in mod2.classes:
+            method = mod2.classes[klass].methods.get(leaf)
+            return [method.qualname] if method else []
+        return []
+
+    def _resolve_in_class(self, klass: ClassInfo, method: str,
+                          seen: Optional[Set[str]] = None) -> List[str]:
+        """Method lookup through the (project-local) base chain."""
+        if method in klass.methods:
+            return [klass.methods[method].qualname]
+        seen = seen or set()
+        out: List[str] = []
+        for base in klass.bases:
+            base_name = base.rpartition(".")[2]
+            if base_name in seen:
+                continue
+            seen.add(base_name)
+            for candidate in self.class_index.get(base_name, []):
+                out.extend(self._resolve_in_class(candidate, method, seen))
+        return out
+
+    def _resolve_callable(self, module: ModuleInfo,
+                          class_name: Optional[str],
+                          node: ast.AST) -> Tuple[List[str], bool]:
+        """(target qualnames, resolved?) for a call target / fn reference.
+
+        ``resolved`` False means the targets are CHA name-matches — the
+        caller may treat them as weaker evidence."""
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in module.functions:
+                return [module.functions[name].qualname], True
+            if name in module.classes:
+                init = module.classes[name].methods.get("__init__")
+                return ([init.qualname] if init else []), True
+            dotted = module.imports.get(name)
+            if dotted:
+                return self.resolve_dotted(dotted), True
+            return [], True
+        if isinstance(node, ast.Attribute):
+            method = node.attr
+            root = node.value
+            if isinstance(root, ast.Name):
+                if root.id == "self" and class_name is not None:
+                    for klass in self.class_index.get(class_name, []):
+                        if klass.module == module.name:
+                            found = self._resolve_in_class(klass, method)
+                            if found:
+                                return found, True
+                dotted = _dotted_name(node)
+                if dotted:
+                    head = dotted.split(".", 1)[0]
+                    imported = module.imports.get(head)
+                    if imported:
+                        full = imported + dotted[len(head):]
+                        found = self.resolve_dotted(full)
+                        if found:
+                            return found, True
+                    found = self.resolve_dotted(dotted)
+                    if found:
+                        return found, True
+            if method in CHA_EXCLUDED_NAMES:
+                return [], False
+            candidates = self.method_index.get(method, [])
+            if 0 < len(candidates) <= MAX_NAME_CANDIDATES:
+                return list(candidates), False
+            return [], False
+        return [], True
+
+    # ------------------------------------------------------------------
+    # Call graph + reachability
+    # ------------------------------------------------------------------
+    def call_graph(self) -> Dict[str, Set[str]]:
+        """``qualname -> set(callee qualnames)`` (cached)."""
+        if self._graph is not None:
+            return self._graph
+        graph: Dict[str, Set[str]] = {name: set() for name in self.functions}
+        for qualname, info in self.functions.items():
+            module = self.modules[info.module]
+            edges = graph[qualname]
+            for nested in _nested_defs(info.node):
+                # a nested def belongs to (and is invoked via) its owner
+                edges.add(f"{qualname}.{nested.name}")
+            for node in _walk_own(info.node):
+                if isinstance(node, ast.Call):
+                    targets, _ = self._resolve_callable(
+                        module, info.class_name, node.func)
+                    edges.update(targets)
+                    for arg in list(node.args) + [k.value for k in node.keywords]:
+                        if isinstance(arg, (ast.Name, ast.Attribute)):
+                            targets, _ = self._resolve_callable(
+                                module, info.class_name, arg)
+                            edges.update(targets)
+        for edges in graph.values():
+            edges.intersection_update(self.functions)
+        self._graph = graph
+        return graph
+
+    def match(self, pattern: str) -> List[str]:
+        """Qualnames a contract pattern selects.
+
+        ``"mod:Class.method"`` is exact; ``"Class.method"`` matches any
+        module; ``"Class"``/``"f"`` match the whole class/function
+        including nested defs."""
+        out = []
+        for qualname in self.functions:
+            module, local = qualname.split(":", 1)
+            if ":" in pattern:
+                if qualname == pattern or qualname.startswith(pattern + "."):
+                    out.append(qualname)
+            elif local == pattern or local.startswith(pattern + "."):
+                out.append(qualname)
+        return out
+
+    def reachable(self, patterns: Iterable[str]) -> Set[str]:
+        """Every function reachable (via any edge kind) from the roots."""
+        graph = self.call_graph()
+        frontier: List[str] = []
+        for pattern in patterns:
+            frontier.extend(self.match(pattern))
+        seen: Set[str] = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for callee in graph.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen
+
+
+def _walk_own(fn_node: ast.AST):
+    """Walk a function's body EXCLUDING nested function bodies (those
+    are separate graph nodes reached via the implicit owner edge)."""
+    stack = list(fn_node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNCTION_NODES):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _nested_defs(fn_node: ast.AST):
+    """First-level nested function defs, at any statement depth."""
+    stack = list(fn_node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNCTION_NODES):
+            yield node
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -340,6 +340,56 @@ def verify_shards(
     )
 
 
+def verify_shard_lint(shards: int = 2, seed: int = 1) -> CheckResult:
+    """Shard-safety cross-check: static analyzer, then runtime auditor.
+
+    The SIM2xx project pass must come back clean over the installed
+    ``repro`` sources, and an audited sharded run
+    (:class:`repro.simlint.runtime.ShardAccessAuditor`) must report no
+    cross-rank access on any rank.  Together they close the loop: what
+    the analyzer proves about the source, the auditor confirms about an
+    actual partitioned execution.
+    """
+    import os
+
+    import repro
+    from repro.simlint.engine import lint_paths
+
+    name = "shard-lint"
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    findings = lint_paths([package_dir], select=["SIM2"])
+    if findings:
+        first = findings[0]
+        return CheckResult(
+            name=name, identical=False, compared=len(findings),
+            detail=(f"{len(findings)} SIM2xx finding(s); first: "
+                    f"{first.path}:{first.line}: {first.code} "
+                    f"{first.message}"),
+        )
+
+    from repro.core.config import SimulationConfig
+    from repro.netsim.shard import run_sharded
+
+    config = SimulationConfig(n_devs=4, seed=seed, attack_duration=30.0,
+                              sim_duration=200.0)
+    run = run_sharded(config, shards, audit=True)
+    reports = run.stats.get("audit") or []
+    dirty = [report for report in reports if not report["clean"]]
+    if dirty:
+        violation = dirty[0]["violations"][0]
+        return CheckResult(
+            name=name, identical=False, compared=len(reports),
+            detail=(f"rank {dirty[0]['rank']} shard-access violation: "
+                    f"{violation['kind']} {violation['target']} at "
+                    f"{violation['site']}"),
+        )
+    return CheckResult(
+        name=name, identical=True, compared=len(reports),
+        detail=("SIM2xx static pass clean; audited sharded run clean "
+                f"on {len(reports)} worker rank(s)"),
+    )
+
+
 def verify_determinism(
     config=None,
     devs_grid: Sequence[int] = (2, 4),
@@ -376,4 +426,5 @@ def verify_determinism(
     if shards >= 2:
         report.checks.append(verify_shards(shards=shards, seed=seed,
                                            flow=flow))
+        report.checks.append(verify_shard_lint(shards=shards, seed=seed))
     return report

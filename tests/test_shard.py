@@ -9,6 +9,7 @@ across ranks so kill/resume round-trips survive sharding.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -227,3 +228,103 @@ class TestShardedCheckpoints:
         with pytest.raises(CheckpointDivergence) as excinfo:
             resume_run(str(tmp_path))
         assert "rank1/rng" in excinfo.value.subsystems
+
+
+# ----------------------------------------------------------------------
+# Shard ownership contract: the SIM2xx analyzer and the runtime auditor
+# must both catch the same seeded violation
+# ----------------------------------------------------------------------
+class TestShardContract:
+    """Mutation-style check of the whole shard-safety net.
+
+    Seed one contract violation — mute ``link_tx_packets_total``, a
+    counter the worker datapath increments at non-replicated sites —
+    and require every layer to notice: the static SIM203 pass flags the
+    increment sites with file:line, and an audited sharded run both
+    diverges from the single-process snapshot (the increments really do
+    vanish from the merge) and reports the offending call site.
+    """
+
+    SEEDED_FAMILY = "link_tx_packets_total"
+
+    def _seeded_contract(self):
+        import copy
+
+        from repro.netsim.shard import SHARD_CONTRACT
+
+        contract = copy.deepcopy(SHARD_CONTRACT)
+        contract["worker_muted_counters"] = (
+            list(contract["worker_muted_counters"]) + [self.SEEDED_FAMILY]
+        )
+        return contract
+
+    def test_contract_is_a_pure_literal(self):
+        # the analyzer reads the contract with ast.literal_eval; a
+        # computed value would silently disable every SIM2xx rule
+        import ast
+        from pathlib import Path
+
+        import repro.netsim.shard as shard_module
+
+        tree = ast.parse(Path(shard_module.__file__).read_text())
+        literal = None
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "SHARD_CONTRACT"
+                    for t in stmt.targets):
+                literal = ast.literal_eval(stmt.value)
+        assert literal == shard_module.SHARD_CONTRACT
+
+    def test_seeded_violation_caught_statically_with_file_line(self):
+        from repro.simlint import lint_paths
+
+        src = str(Path(__file__).resolve().parents[1] / "src" / "repro")
+        findings = lint_paths([src], select=["SIM203"],
+                              contract=self._seeded_contract())
+        assert findings, "seeded muted counter must trip SIM203"
+        sites = {(f.path, f.line) for f in findings}
+        assert all(path.endswith("netsim/channel.py") for path, _ in sites)
+        assert all(line > 0 for _, line in sites)
+        assert all(self.SEEDED_FAMILY in f.message for f in findings)
+
+    def test_seeded_violation_diverges_and_is_audited_at_runtime(
+            self, monkeypatch):
+        from repro.netsim import shard as shard_module
+
+        config = _fast_config()
+        _result, base_metrics = _baseline("off")
+        monkeypatch.setattr(
+            shard_module, "_WORKER_MUTED",
+            frozenset(shard_module._WORKER_MUTED | {self.SEEDED_FAMILY}),
+        )
+        run = run_sharded(config, 2, audit=True)
+        metrics = json.dumps(run.ddosim.obs.metrics.snapshot(),
+                             sort_keys=True)
+        assert metrics != base_metrics  # the increments really vanished
+        dirty = [report for report in run.stats["audit"]
+                 if not report["clean"]]
+        assert dirty, "auditor must record the muted increments"
+        violation = dirty[0]["violations"][0]
+        assert violation["kind"] == "muted-counter"
+        assert violation["target"] == self.SEEDED_FAMILY
+        assert violation["site"].partition(":")[0].endswith(
+            "netsim/channel.py")
+
+    def test_audited_clean_run_is_byte_identical_and_clean(self):
+        run = run_sharded(_fast_config(), 2, audit=True)
+        metrics = json.dumps(run.ddosim.obs.metrics.snapshot(),
+                             sort_keys=True)
+        assert (result_to_json(run.result), metrics) == _baseline("off")
+        reports = run.stats["audit"]
+        assert reports and all(report["clean"] for report in reports)
+
+    def test_disabled_audit_keeps_the_null_instrument_path(self):
+        # audit off must add zero work to the datapath: muted families
+        # hand out the shared no-op instrument, nothing is wrapped
+        from repro.netsim.shard import _MutedRegistry
+        from repro.obs.metrics import NULL_INSTRUMENT
+
+        registry = _MutedRegistry(None)
+        assert registry.counter("churn_departures_total") is NULL_INSTRUMENT
+        run = run_sharded(_fast_config(), 2)
+        assert "audit" not in run.stats
